@@ -1,0 +1,85 @@
+// Figures 2(a), 2(b), 2(c), 6 and 7: the paper's adversarial families and
+// Appendix-A examples. Prints, for each instance, the optimal I/O volume
+// and what each strategy actually pays — regenerating every number quoted
+// in Sections 4.3, 4.4 and Appendix A.
+#include <cstdio>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/strategies.hpp"
+#include "src/treegen/paper_trees.hpp"
+#include "src/util/csv.hpp"
+
+namespace {
+
+using namespace ooctree;
+using core::Strategy;
+using core::Weight;
+
+void report(const char* name, const treegen::PaperInstance& inst, Weight reference_io,
+            const char* reference_label, util::CsvWriter& csv) {
+  std::printf("-- %s: n=%zu, M=%lld --\n", name, inst.tree.size(),
+              static_cast<long long>(inst.memory));
+  std::printf("  %-22s %lld\n", reference_label, static_cast<long long>(reference_io));
+  csv.row({name, inst.tree.size(), inst.memory, reference_label, reference_io});
+  if (!inst.annotated_schedule.empty()) {
+    const Weight io =
+        core::simulate_fif(inst.tree, inst.annotated_schedule, inst.memory).io_volume;
+    std::printf("  %-22s %lld\n", "paper's schedule", static_cast<long long>(io));
+    csv.row({name, inst.tree.size(), inst.memory, "paper-schedule", io});
+  }
+  for (const Strategy s : core::all_strategies()) {
+    const Weight io = core::run_strategy(s, inst.tree, inst.memory).io_volume();
+    std::printf("  %-22s %lld\n", core::strategy_name(s).c_str(), static_cast<long long>(io));
+    csv.row({name, inst.tree.size(), inst.memory, core::strategy_name(s), io});
+  }
+}
+
+}  // namespace
+
+int main() {
+  util::CsvWriter csv("counterexamples.csv", {"family", "nodes", "memory", "strategy", "io"});
+
+  std::printf("== Figure 2(a): PostOrderMinIO is Omega(n*M) from optimal ==\n");
+  std::printf("optimal = 1 I/O at every size; postorder grows with levels x M/2.\n");
+  for (const Weight m : {8, 16, 32}) {
+    for (const std::size_t levels : {2u, 4u, 8u, 16u}) {
+      const auto inst = treegen::fig2a(levels, m);
+      const std::string name = "fig2a_L" + std::to_string(levels) + "_M" + std::to_string(m);
+      report(name.c_str(), inst, 1, "optimal (proved)", csv);
+    }
+  }
+
+  std::printf("\n== Figure 2(b): OptMinMem peak 8 costs 4 I/Os; peak 9 costs 3 ==\n");
+  {
+    const auto inst = treegen::fig2b();
+    const Weight opt = core::brute_force_min_io(inst.tree, inst.memory).objective;
+    report("fig2b", inst, opt, "optimal (brute force)", csv);
+  }
+
+  std::printf("\n== Figure 2(c): OptMinMem pays ~k(k+1) where optimal pays 2k ==\n");
+  for (const Weight k : {2, 4, 8, 16, 32}) {
+    const auto inst = treegen::fig2c(k);
+    const std::string name = "fig2c_k" + std::to_string(k);
+    // 2k is optimal: the chain-by-chain schedule achieves it and the peak
+    // gap bound (6k - 4k = 2k with a one-chain argument) matches.
+    report(name.c_str(), inst, 2 * k, "optimal (analytic 2k)", csv);
+  }
+
+  std::printf("\n== Figure 6: FullRecExpand optimal (3), OptMinMem pays 4 ==\n");
+  {
+    const auto inst = treegen::fig6();
+    const Weight opt = core::brute_force_min_io(inst.tree, inst.memory).objective;
+    report("fig6", inst, opt, "optimal (brute force)", csv);
+  }
+
+  std::printf("\n== Figure 7: PostOrderMinIO optimal (3), expansion strategies pay 4 ==\n");
+  {
+    const auto inst = treegen::fig7();
+    const Weight opt = core::brute_force_min_io(inst.tree, inst.memory).objective;
+    report("fig7", inst, opt, "optimal (brute force)", csv);
+  }
+
+  std::printf("\nresults written to counterexamples.csv\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 10: the Figure-4 experiment at the largest I/O-requiring bound
+// M2 = Peak_incore - 1 (Appendix B).
+//
+// Expected shape: OptMinMem, RecExpand and FullRecExpand coincide
+// everywhere (RecExpand has nothing left to improve right below the
+// in-core peak); only PostOrderMinIO lags, and by less than at the other
+// bounds.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig10_synth_m2";
+  config.title = "SYNTH dataset, M2 = Peak - 1";
+  config.bound = MemoryBound::kM2PeakMinus1;
+  config.strategies = ooctree::core::all_strategies();
+  const auto data = synth_dataset(synth_count(scale), synth_nodes(scale));
+  return run_profile_experiment(data, config) > 0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// Figure 11: the Figure-5 experiment (TREES dataset) at M2 = Peak - 1
+// (Appendix B). Expected: near-ties everywhere, PostOrderMinIO slightly
+// behind.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig11_trees_m2";
+  config.title = "TREES dataset, M2 = Peak - 1";
+  config.bound = MemoryBound::kM2PeakMinus1;
+  config.strategies = ooctree::core::cheap_strategies();
+  return run_profile_experiment(trees_dataset(scale), config) > 0 ? 0 : 1;
+}

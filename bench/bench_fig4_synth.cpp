@@ -1,0 +1,21 @@
+// Figure 4: performance profiles of FullRecExpand, RecExpand, OptMinMem and
+// PostOrderMinIO on the SYNTH dataset at the mid memory bound
+// M = (LB + Peak_incore - 1) / 2.
+//
+// Expected shape (paper, Section 6.2): PostOrderMinIO shows >= 50% overhead
+// almost everywhere (>= 100% on ~75% of cases); RecExpand strictly better
+// than OptMinMem on ~90% of instances; FullRecExpand only marginally ahead
+// of RecExpand.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig4_synth";
+  config.title = "SYNTH dataset, mid memory bound, all four strategies";
+  config.bound = MemoryBound::kMid;
+  config.strategies = ooctree::core::all_strategies();
+  const auto data = synth_dataset(synth_count(scale), synth_nodes(scale));
+  return run_profile_experiment(data, config) > 0 ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// Figure 5: performance profiles of RecExpand, OptMinMem and
+// PostOrderMinIO on the TREES dataset (elimination trees of sparse
+// matrices) at the mid memory bound.
+//
+// Expected shape (paper): the three heuristics coincide on > 90% of the
+// instances; where they differ, RecExpand is never outperformed and
+// OptMinMem beats PostOrderMinIO, with smaller gaps than on SYNTH.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig5_trees";
+  config.title = "TREES dataset (elimination trees), mid memory bound";
+  config.bound = MemoryBound::kMid;
+  config.strategies = ooctree::core::cheap_strategies();
+  return run_profile_experiment(trees_dataset(scale), config) > 0 ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+// Figure 8: the Figure-4 experiment at the smallest processable memory
+// bound M1 = LB (Appendix B).
+//
+// Expected shape: the OptMinMem <-> RecExpand gap widens substantially
+// (paper: OptMinMem shows >= 10% overhead on ~90% of cases here) while the
+// PostOrderMinIO gap narrows relative to Figure 4.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig8_synth_m1";
+  config.title = "SYNTH dataset, M1 = LB";
+  config.bound = MemoryBound::kM1Lb;
+  config.strategies = ooctree::core::all_strategies();
+  const auto data = synth_dataset(synth_count(scale), synth_nodes(scale));
+  return run_profile_experiment(data, config) > 0 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Figure 9: the Figure-5 experiment (TREES dataset) at M1 = LB
+// (Appendix B). Same tendency as Figure 8, less pronounced.
+#include "experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree::bench;
+  const Scale scale = parse_scale(argc, argv);
+  ExperimentConfig config;
+  config.id = "fig9_trees_m1";
+  config.title = "TREES dataset, M1 = LB";
+  config.bound = MemoryBound::kM1Lb;
+  config.strategies = ooctree::core::cheap_strategies();
+  return run_profile_experiment(trees_dataset(scale), config) > 0 ? 0 : 1;
+}

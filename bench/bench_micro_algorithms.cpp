@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): raw algorithm throughput on the
+// shapes that stress each code path. Not a paper figure — these guard
+// against performance regressions in the library itself.
+#include <benchmark/benchmark.h>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/core/rec_expand.hpp"
+#include "src/sparse/assembly_tree.hpp"
+#include "src/sparse/etree.hpp"
+#include "src/sparse/generators.hpp"
+#include "src/sparse/ordering.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/treegen/shapes.hpp"
+#include "src/treegen/weights.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ooctree;
+using core::Tree;
+using core::Weight;
+
+Tree synth(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return treegen::synth_instance(n, 1, 100, rng);
+}
+
+void BM_OptMinMem_Synth(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(core::opt_minmem(t).peak);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OptMinMem_Synth)->Arg(1000)->Arg(3000)->Arg(10000)->Arg(30000);
+
+void BM_OptMinMem_Chain(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<Weight> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : w) x = rng.uniform_int(1, 100);
+  const Tree t = treegen::chain_tree(w);
+  for (auto _ : state) benchmark::DoNotOptimize(core::opt_minmem(t).peak);
+}
+BENCHMARK(BM_OptMinMem_Chain)->Arg(10000)->Arg(100000);
+
+void BM_OptMinMem_Caterpillar(benchmark::State& state) {
+  util::Rng rng(3);
+  const Tree shape = treegen::caterpillar_tree(static_cast<std::size_t>(state.range(0)), 3, 1);
+  const Tree t = treegen::with_uniform_weights(shape, 1, 100, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(core::opt_minmem(t).peak);
+}
+BENCHMARK(BM_OptMinMem_Caterpillar)->Arg(1000)->Arg(10000);
+
+void BM_PostOrderMinMem(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(core::postorder_minmem(t).peak);
+}
+BENCHMARK(BM_PostOrderMinMem)->Arg(3000)->Arg(30000);
+
+void BM_PostOrderMinIo(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 5);
+  const Weight m = (t.min_feasible_memory() + core::opt_minmem_peak(t, t.root())) / 2;
+  for (auto _ : state) benchmark::DoNotOptimize(core::postorder_minio(t, m).predicted_io);
+}
+BENCHMARK(BM_PostOrderMinIo)->Arg(3000)->Arg(30000);
+
+void BM_FifSimulator(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 6);
+  const auto schedule = core::opt_minmem(t).schedule;
+  const Weight m = (t.min_feasible_memory() + core::opt_minmem_peak(t, t.root())) / 2;
+  for (auto _ : state) benchmark::DoNotOptimize(core::simulate_fif(t, schedule, m).io_volume);
+}
+BENCHMARK(BM_FifSimulator)->Arg(3000)->Arg(30000);
+
+void BM_RecExpand2(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 7);
+  const Weight m = (t.min_feasible_memory() + core::opt_minmem_peak(t, t.root())) / 2;
+  for (auto _ : state) benchmark::DoNotOptimize(core::rec_expand2(t, m).evaluation.io_volume);
+}
+BENCHMARK(BM_RecExpand2)->Arg(1000)->Arg(3000);
+
+void BM_RemyGenerator(benchmark::State& state) {
+  util::Rng rng(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        treegen::uniform_binary_tree(static_cast<std::size_t>(state.range(0)), rng).size());
+}
+BENCHMARK(BM_RemyGenerator)->Arg(3000)->Arg(30000);
+
+void BM_EtreeAndCounts(benchmark::State& state) {
+  const auto k = static_cast<sparse::Index>(state.range(0));
+  const auto g = sparse::grid2d(k, k);
+  const auto perm = sparse::nested_dissection_2d(k, k);
+  const auto q = g.permuted(perm);
+  for (auto _ : state) {
+    const auto parent = sparse::elimination_tree(q);
+    benchmark::DoNotOptimize(sparse::column_counts(q, parent).size());
+  }
+}
+BENCHMARK(BM_EtreeAndCounts)->Arg(64)->Arg(128);
+
+void BM_MinimumDegree(benchmark::State& state) {
+  const auto k = static_cast<sparse::Index>(state.range(0));
+  const auto g = sparse::grid2d(k, k);
+  for (auto _ : state) benchmark::DoNotOptimize(sparse::minimum_degree(g).size());
+}
+BENCHMARK(BM_MinimumDegree)->Arg(32)->Arg(64);
+
+void BM_AssemblyTree(benchmark::State& state) {
+  const auto k = static_cast<sparse::Index>(state.range(0));
+  const auto g = sparse::grid2d(k, k);
+  const auto perm = sparse::nested_dissection_2d(k, k);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::assembly_tree_ordered(g, perm).size());
+}
+BENCHMARK(BM_AssemblyTree)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Extension experiment: the parallelism / I/O tradeoff (paper, Section 7
+// future work). For SYNTH instances at the sequential in-core peak and at
+// the mid bound, sweep the worker count and priority rule and report
+// speedup vs written volume — quantifying how much I/O tree-parallelism
+// buys at a fixed shared-memory budget.
+#include <cstdio>
+
+#include "experiment.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/parallel/parallel_sim.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree;
+  using core::Weight;
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  const int count = bench::synth_count(scale) / 6;
+  const auto data = bench::synth_dataset(count, bench::synth_nodes(scale), 717171);
+
+  const std::vector<int> worker_counts{1, 2, 4, 8};
+  const std::vector<std::pair<parallel::Priority, const char*>> priorities{
+      {parallel::Priority::kCriticalPath, "critical-path"},
+      {parallel::Priority::kHeaviestSubtree, "heaviest-subtree"},
+      {parallel::Priority::kSequentialOrder, "sequential-order"},
+  };
+
+  std::printf("== extension: parallelism vs I/O under a shared memory bound"
+              " (%d instances) ==\n", count);
+  util::CsvWriter csv("parallel_tradeoff.csv",
+                      {"instance", "bound", "priority", "workers", "makespan", "speedup",
+                       "io_volume", "utilization"});
+
+  struct Cell {
+    double speedup_sum = 0.0;
+    double io_sum = 0.0;
+    int n = 0;
+  };
+  std::vector<std::vector<Cell>> grid(priorities.size(),
+                                      std::vector<Cell>(worker_counts.size()));
+  std::mutex mutex;
+
+  util::parallel_for(data.size(), [&](std::size_t i) {
+    const core::Tree& t = data[i].tree;
+    const auto opt = core::opt_minmem(t);
+    const Weight memory = opt.peak;  // sequential in-core peak: 1 worker, 0 I/O
+    for (std::size_t p = 0; p < priorities.size(); ++p) {
+      double base_makespan = 0.0;
+      for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+        parallel::ParallelConfig config;
+        config.workers = worker_counts[w];
+        config.memory = memory;
+        config.priority = priorities[p].first;
+        const auto r = parallel::simulate_parallel(t, config, opt.schedule);
+        if (!r.feasible) continue;
+        if (worker_counts[w] == 1) base_makespan = r.makespan;
+        const double speedup = base_makespan > 0 ? base_makespan / r.makespan : 1.0;
+        const double io_per_data =
+            static_cast<double>(r.io_volume) / static_cast<double>(t.total_weight());
+        {
+          const std::lock_guard lock(mutex);
+          grid[p][w].speedup_sum += speedup;
+          grid[p][w].io_sum += io_per_data;
+          grid[p][w].n += 1;
+          csv.row({data[i].name, memory, priorities[p].second, worker_counts[w], r.makespan,
+                   speedup, r.io_volume, r.utilization(worker_counts[w])});
+        }
+      }
+    }
+  });
+
+  std::printf("memory = sequential in-core peak (1 worker -> zero I/O)\n");
+  std::printf("%-18s", "priority \\ p");
+  for (const int w : worker_counts) std::printf("      p=%d          ", w);
+  std::printf("\n");
+  for (std::size_t p = 0; p < priorities.size(); ++p) {
+    std::printf("%-18s", priorities[p].second);
+    for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+      const Cell& c = grid[p][w];
+      std::printf(" %5.2fx io=%5.1f%%  ", c.n ? c.speedup_sum / c.n : 0.0,
+                  c.n ? 100.0 * c.io_sum / c.n : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("(speedup vs 1 worker; io as %% of total tree data; CSV:"
+              " parallel_tradeoff.csv)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension experiment: does local-search polishing close the remaining
+// gap of the paper's strategies? For SYNTH instances at the mid bound,
+// polish each strategy's schedule and report the I/O reduction — an
+// empirical probe at the open problem of Section 7.
+#include <cstdio>
+
+#include "experiment.hpp"
+#include "src/core/local_search.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ooctree;
+  using core::Weight;
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  const int count = bench::synth_count(scale) / 6;
+  // Smaller trees keep the FiF-evaluation loop affordable.
+  const auto data = bench::synth_dataset(count, bench::synth_nodes(scale) / 3, 818181);
+
+  const auto strategies = core::cheap_strategies();
+  std::printf("== extension: local-search polish on top of each strategy (%d instances) ==\n",
+              count);
+  util::CsvWriter csv("polish.csv",
+                      {"instance", "memory", "strategy", "io_before", "io_after", "improved"});
+
+  struct Totals {
+    Weight before = 0, after = 0;
+    int improved = 0, n = 0;
+  };
+  std::vector<Totals> totals(strategies.size());
+  std::mutex mutex;
+
+  util::parallel_for(data.size(), [&](std::size_t i) {
+    const core::Tree& t = data[i].tree;
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::opt_minmem_peak(t, t.root());
+    if (peak <= lb) return;
+    const Weight m = (lb + peak - 1) / 2;
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      const auto base = core::run_strategy(strategies[s], t, m);
+      core::PolishOptions opts;
+      opts.max_evaluations = 1200;
+      opts.patience = 600;
+      opts.seed = 1000 + i;
+      const auto polished = core::polish_schedule(t, base.schedule, m, opts);
+      const std::lock_guard lock(mutex);
+      totals[s].before += polished.io_before;
+      totals[s].after += polished.io_after;
+      totals[s].improved += polished.io_after < polished.io_before ? 1 : 0;
+      totals[s].n += 1;
+      csv.row({data[i].name, m, core::strategy_name(strategies[s]), polished.io_before,
+               polished.io_after, polished.io_after < polished.io_before ? 1 : 0});
+    }
+  });
+
+  std::printf("%-16s %14s %14s %12s %10s\n", "strategy", "io before", "io after", "reduction",
+              "improved");
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const Totals& t = totals[s];
+    const double red = t.before > 0
+                           ? 100.0 * static_cast<double>(t.before - t.after) /
+                                 static_cast<double>(t.before)
+                           : 0.0;
+    std::printf("%-16s %14lld %14lld %11.2f%% %7d/%d\n",
+                core::strategy_name(strategies[s]).c_str(), static_cast<long long>(t.before),
+                static_cast<long long>(t.after), red, t.improved, t.n);
+  }
+  std::printf("(hill climbing, <=1200 FiF evaluations per schedule; CSV: polish.csv)\n");
+  return 0;
+}

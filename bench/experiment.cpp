@@ -1,0 +1,272 @@
+#include "experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "src/core/tree_io.hpp"
+
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/perf_profile.hpp"
+#include "src/sparse/dataset.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/util/ascii_plot.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ooctree::bench {
+
+using core::Strategy;
+using core::Weight;
+
+std::string bound_name(MemoryBound b) {
+  switch (b) {
+    case MemoryBound::kM1Lb: return "M1 = LB";
+    case MemoryBound::kMid: return "M = (LB + Peak - 1) / 2";
+    case MemoryBound::kM2PeakMinus1: return "M2 = Peak - 1";
+  }
+  return "?";
+}
+
+Scale parse_scale(int argc, char** argv) {
+  std::string value;
+  if (const char* env = std::getenv("OOCTREE_BENCH_SCALE")) value = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) value = argv[i + 1];
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) value = argv[i] + 8;
+  }
+  if (value == "paper") return Scale::kPaper;
+  if (value == "quick") return Scale::kQuick;
+  return Scale::kDefault;
+}
+
+int synth_count(Scale scale) {
+  // The paper-sized SYNTH runs are cheap enough to be the default.
+  switch (scale) {
+    case Scale::kQuick: return 30;
+    case Scale::kDefault: return 330;
+    case Scale::kPaper: return 330;
+  }
+  return 330;
+}
+
+std::size_t synth_nodes(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return 600;
+    case Scale::kDefault: return 3000;
+    case Scale::kPaper: return 3000;
+  }
+  return 3000;
+}
+
+std::vector<Instance> synth_dataset(int count, std::size_t nodes, std::uint64_t seed) {
+  std::vector<Instance> out;
+  out.reserve(static_cast<std::size_t>(count));
+  util::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(
+        {"synth_" + std::to_string(i), treegen::synth_instance(nodes, 1, 100, rng)});
+  }
+  return out;
+}
+
+std::vector<Instance> trees_dataset(Scale scale) {
+  sparse::DatasetOptions opts;
+  opts.scale = scale == Scale::kPaper ? 2 : (scale == Scale::kDefault ? 2 : 0);
+
+  // The symbolic-analysis pipeline (minimum degree in particular) is the
+  // expensive part, so the generated trees are cached on disk and shared by
+  // all bench binaries of the same scale.
+  const std::string cache_dir = "trees_cache_scale" + std::to_string(opts.scale);
+  const std::string manifest_path = cache_dir + "/manifest.txt";
+  {
+    std::ifstream manifest(manifest_path);
+    if (manifest) {
+      std::vector<Instance> out;
+      std::string name;
+      while (manifest >> name)
+        out.push_back({name, core::load_tree(cache_dir + "/" + name + ".tree")});
+      if (!out.empty()) {
+        std::printf("loaded %zu TREES instances from %s\n", out.size(), cache_dir.c_str());
+        return out;
+      }
+    }
+  }
+
+  std::vector<Instance> out;
+  for (auto& inst : sparse::make_trees_dataset(opts))
+    out.push_back({std::move(inst.name), std::move(inst.tree)});
+
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) {
+    std::ofstream manifest(manifest_path);
+    for (const Instance& inst : out) {
+      core::save_tree(cache_dir + "/" + inst.name + ".tree", inst.tree);
+      manifest << inst.name << '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct InstanceResult {
+  std::string name;
+  std::size_t nodes = 0;
+  Weight lb = 0;
+  Weight peak = 0;
+  Weight memory = 0;
+  std::vector<Weight> io;  // one entry per strategy
+  bool kept = false;
+};
+
+}  // namespace
+
+std::size_t run_profile_experiment(const std::vector<Instance>& instances,
+                                   const ExperimentConfig& config) {
+  util::Stopwatch timer;
+  std::printf("== %s: %s ==\n", config.id.c_str(), config.title.c_str());
+  std::printf("memory bound: %s; %zu raw instances; strategies:", bound_name(config.bound).c_str(),
+              instances.size());
+  for (const Strategy s : config.strategies) std::printf(" %s", core::strategy_name(s).c_str());
+  std::printf("\n");
+
+  std::vector<InstanceResult> results(instances.size());
+  util::parallel_for(instances.size(), [&](std::size_t i) {
+    const core::Tree& tree = instances[i].tree;
+    InstanceResult& r = results[i];
+    r.name = instances[i].name;
+    r.nodes = tree.size();
+    r.lb = tree.min_feasible_memory();
+    r.peak = core::opt_minmem_peak(tree, tree.root());
+    if (r.peak <= r.lb) return;  // the paper's Peak > LB filter
+    switch (config.bound) {
+      case MemoryBound::kM1Lb: r.memory = r.lb; break;
+      case MemoryBound::kMid: r.memory = (r.lb + r.peak - 1) / 2; break;
+      case MemoryBound::kM2PeakMinus1: r.memory = r.peak - 1; break;
+    }
+    r.memory = std::max(r.memory, r.lb);
+    r.kept = true;
+    r.io.reserve(config.strategies.size());
+    for (const Strategy s : config.strategies)
+      r.io.push_back(core::run_strategy(s, tree, r.memory).io_volume());
+  });
+
+  // Collect kept instances into the profile input; also keep the subset of
+  // instances on which the strategies disagree (the paper's right plots).
+  std::vector<core::AlgorithmPerformance> algos, algos_diff;
+  for (const Strategy s : config.strategies) {
+    algos.push_back({core::strategy_name(s), {}});
+    algos_diff.push_back({core::strategy_name(s), {}});
+  }
+  std::size_t kept = 0, differing = 0;
+  for (const InstanceResult& r : results) {
+    if (!r.kept) continue;
+    ++kept;
+    const bool all_equal =
+        std::all_of(r.io.begin(), r.io.end(), [&](Weight v) { return v == r.io.front(); });
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      algos[a].performance.push_back(core::io_performance(r.memory, r.io[a]));
+      if (!all_equal) algos_diff[a].performance.push_back(algos[a].performance.back());
+    }
+    differing += all_equal ? 0 : 1;
+  }
+  std::printf("kept %zu instances after the Peak > LB filter; strategies differ on %zu\n", kept,
+              differing);
+  if (kept == 0) {
+    std::printf("nothing to profile\n\n");
+    return 0;
+  }
+
+  // Raw results CSV.
+  {
+    util::CsvWriter csv(config.out_dir + "/" + config.id + "_raw.csv",
+                        {"instance", "nodes", "lb", "peak", "memory", "strategy", "io_volume",
+                         "performance"});
+    for (const InstanceResult& r : results) {
+      if (!r.kept) continue;
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        csv.row({r.name, r.nodes, r.lb, r.peak, r.memory, algos[a].name, r.io[a],
+                 core::io_performance(r.memory, r.io[a])});
+      }
+    }
+  }
+
+  const auto curves = core::performance_profiles(algos);
+
+  // Profile CSV.
+  {
+    util::CsvWriter csv(config.out_dir + "/" + config.id + "_profile.csv",
+                        {"strategy", "overhead", "fraction"});
+    for (const auto& c : curves)
+      for (std::size_t k = 0; k < c.overhead.size(); ++k)
+        csv.row({c.name, c.overhead[k], c.fraction[k]});
+  }
+
+  // Table at canonical overhead thresholds.
+  const std::vector<double> taus{0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50, 1.00, 2.00};
+  std::printf("\n%-16s", "overhead <=");
+  for (const double tau : taus) std::printf("%8.0f%%", tau * 100);
+  std::printf("\n");
+  for (const auto& c : curves) {
+    std::printf("%-16s", c.name.c_str());
+    for (const double tau : taus) std::printf("%8.2f ", core::profile_at(c, tau));
+    std::printf("\n");
+  }
+
+  // ASCII performance profile (x axis capped at 100% overhead for detail).
+  std::vector<util::Series> series;
+  for (const auto& c : curves) {
+    util::Series s;
+    s.name = c.name;
+    s.x.push_back(0.0);
+    s.y.push_back(core::profile_at(c, 0.0));
+    for (std::size_t k = 0; k < c.overhead.size(); ++k) {
+      const double x = std::min(c.overhead[k], 1.0);
+      s.x.push_back(x);
+      s.y.push_back(c.fraction[k]);
+      if (c.overhead[k] >= 1.0) break;
+    }
+    s.x.push_back(1.0);
+    s.y.push_back(core::profile_at(c, 1.0));
+    series.push_back(std::move(s));
+  }
+  util::PlotOptions plot;
+  plot.width = 64;
+  plot.height = 16;
+  plot.x_label = "maximal overhead (fraction, capped at 1.0)";
+  plot.y_label = "fraction of test cases";
+  std::printf("\n%s", util::render_plot(series, plot).c_str());
+
+  // The paper's right plots: the same profile restricted to instances on
+  // which the strategies disagree.
+  if (differing > 0 && differing < kept) {
+    const auto diff_curves = core::performance_profiles(algos_diff);
+    std::printf("\nrestricted to the %zu instances where strategies differ:\n", differing);
+    std::printf("%-16s", "overhead <=");
+    for (const double tau : taus) std::printf("%8.0f%%", tau * 100);
+    std::printf("\n");
+    for (const auto& c : diff_curves) {
+      std::printf("%-16s", c.name.c_str());
+      for (const double tau : taus) std::printf("%8.2f ", core::profile_at(c, tau));
+      std::printf("\n");
+    }
+    util::CsvWriter csv(config.out_dir + "/" + config.id + "_profile_differing.csv",
+                        {"strategy", "overhead", "fraction"});
+    for (const auto& c : diff_curves)
+      for (std::size_t k = 0; k < c.overhead.size(); ++k)
+        csv.row({c.name, c.overhead[k], c.fraction[k]});
+  }
+
+  std::printf("elapsed: %.1f s; CSVs: %s/%s_{raw,profile}.csv\n\n", timer.seconds(),
+              config.out_dir.c_str(), config.id.c_str());
+  return kept;
+}
+
+}  // namespace ooctree::bench

@@ -1,0 +1,67 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every bench_figN binary builds a dataset, picks the paper's memory bound,
+// runs the requested strategies on every instance (in parallel across a
+// thread pool), prints the performance-profile table and ASCII plot, and
+// writes two CSVs: the raw per-instance results and the profile curves.
+//
+// Scaling: the full paper-sized datasets take minutes; by default the
+// benches run a reduced configuration. Set OOCTREE_BENCH_SCALE=paper (or
+// pass --scale paper) for the full instance counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/strategies.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::bench {
+
+/// One benchmark instance.
+struct Instance {
+  std::string name;
+  core::Tree tree;
+};
+
+/// The paper's three memory-bound choices (Sections 6.1 and Appendix B).
+enum class MemoryBound {
+  kM1Lb,          ///< M1 = LB, the smallest processable bound
+  kMid,           ///< M = (LB + Peak_incore - 1) / 2, the main experiments
+  kM2PeakMinus1,  ///< M2 = Peak_incore - 1, the largest bound needing I/O
+};
+
+[[nodiscard]] std::string bound_name(MemoryBound b);
+
+/// Experiment configuration.
+struct ExperimentConfig {
+  std::string id;          ///< e.g. "fig4_synth"
+  std::string title;       ///< printed banner
+  MemoryBound bound = MemoryBound::kMid;
+  std::vector<core::Strategy> strategies;
+  std::string out_dir = ".";  ///< where CSVs are written
+};
+
+/// Scale selector parsed from argv/environment: "quick", "default",
+/// "paper". Affects dataset sizes only.
+enum class Scale { kQuick, kDefault, kPaper };
+[[nodiscard]] Scale parse_scale(int argc, char** argv);
+
+/// The SYNTH dataset: `count` uniform random binary trees of `nodes` nodes,
+/// weights uniform in [1, 100] (paper, Section 6.1).
+[[nodiscard]] std::vector<Instance> synth_dataset(int count, std::size_t nodes,
+                                                  std::uint64_t seed = 20170208);
+
+/// The TREES dataset via the sparse substrate, at the given scale.
+[[nodiscard]] std::vector<Instance> trees_dataset(Scale scale);
+
+/// SYNTH sizing per scale: paper = 330 x 3000.
+[[nodiscard]] int synth_count(Scale scale);
+[[nodiscard]] std::size_t synth_nodes(Scale scale);
+
+/// Runs the experiment and prints/writes everything. Returns the number of
+/// instances kept after the Peak > LB filter.
+std::size_t run_profile_experiment(const std::vector<Instance>& instances,
+                                   const ExperimentConfig& config);
+
+}  // namespace ooctree::bench

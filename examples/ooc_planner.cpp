@@ -1,0 +1,164 @@
+// ooc_planner: command-line out-of-core schedule planner.
+//
+//   $ ./ooc_planner --tree workload.tree --memory 1000 [--strategy recexpand]
+//   $ ./ooc_planner --mtx matrix.mtx --memory-fraction 0.5
+//   $ ./ooc_planner --demo
+//
+// Reads a task tree (text format, see src/core/tree_io.hpp) or a Matrix
+// Market file (converted via the multifrontal pipeline), plans an
+// out-of-core traversal under the given memory bound, and writes the plan
+// (execution order + spill list) to stdout or --out. This is the tool a
+// downstream user would wire into a solver driver.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/strategies.hpp"
+#include "src/core/local_search.hpp"
+#include "src/core/tree_io.hpp"
+#include "src/sparse/assembly_tree.hpp"
+#include "src/sparse/matrix_market.hpp"
+#include "src/sparse/ordering.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/util/args.hpp"
+
+namespace {
+
+using namespace ooctree;
+using core::Weight;
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s (--tree FILE | --mtx FILE | --demo) [options]\n"
+      "  --tree FILE         task tree in the '<parent> <weight>' text format\n"
+      "  --mtx FILE          symmetric Matrix Market file (multifrontal pipeline)\n"
+      "  --demo              use a built-in random 500-node tree\n"
+      "  --memory M          memory bound in units\n"
+      "  --memory-fraction F bound = F * in-core peak (default 0.5)\n"
+      "  --strategy S        postorder | optminmem | recexpand (default) | full\n"
+      "  --polish            run local-search polishing on the planned schedule\n"
+      "  --validate FILE     check a previously written plan against the tree\n"
+      "  --out FILE          write the plan there instead of stdout\n",
+      prog);
+}
+
+core::Strategy parse_strategy(const std::string& s) {
+  if (s == "postorder") return core::Strategy::kPostOrderMinIo;
+  if (s == "optminmem") return core::Strategy::kOptMinMem;
+  if (s == "recexpand") return core::Strategy::kRecExpand;
+  if (s == "full") return core::Strategy::kFullRecExpand;
+  throw std::runtime_error("unknown strategy '" + s + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = util::Args::parse(argc, argv);
+  try {
+    core::Tree tree = [&] {
+      if (args.has("tree")) return core::load_tree(args.get("tree", ""));
+      if (args.has("mtx")) {
+        const auto pattern = sparse::load_matrix_market(args.get("mtx", ""));
+        return sparse::assembly_tree(
+            pattern.permuted(sparse::minimum_degree(pattern)));
+      }
+      if (args.has("demo")) {
+        util::Rng rng(12345);
+        return treegen::synth_instance(500, 1, 100, rng);
+      }
+      usage(args.program().c_str());
+      throw std::runtime_error("no input given");
+    }();
+
+    const Weight lb = tree.min_feasible_memory();
+    const Weight peak = core::opt_minmem_peak(tree, tree.root());
+    Weight memory = args.get_int("memory", 0);
+    if (memory <= 0) {
+      const double f = args.get_double("memory-fraction", 0.5);
+      memory = std::max(lb, static_cast<Weight>(static_cast<double>(peak) * f));
+    }
+    if (memory < lb) {
+      std::fprintf(stderr, "memory %lld below the feasibility bound LB=%lld\n",
+                   (long long)memory, (long long)lb);
+      return 1;
+    }
+
+    if (args.has("validate")) {
+      // Re-check a stored plan: parse "step node spill" rows, rebuild the
+      // traversal and run the Section 3.1 validity conditions.
+      std::ifstream plan_file(args.get("validate", ""));
+      if (!plan_file) throw std::runtime_error("cannot open --validate file");
+      core::Schedule schedule;
+      core::IoFunction io(tree.size(), 0);
+      std::string line;
+      while (std::getline(plan_file, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::size_t step = 0;
+        core::NodeId node = 0;
+        Weight spill = 0;
+        if (!(ls >> step >> node >> spill)) throw std::runtime_error("malformed plan line");
+        schedule.push_back(node);
+        if (node < 0 || static_cast<std::size_t>(node) >= tree.size())
+          throw std::runtime_error("plan references unknown node");
+        io[static_cast<std::size_t>(node)] = spill;
+      }
+      const auto problem = core::validate_traversal(tree, schedule, io, memory);
+      if (problem.has_value()) {
+        std::fprintf(stderr, "INVALID plan: %s\n", problem->c_str());
+        return 2;
+      }
+      Weight volume = 0;
+      for (const Weight v : io) volume += v;
+      std::fprintf(stderr, "plan is valid: %zu steps, %lld I/O units under M=%lld\n",
+                   schedule.size(), (long long)volume, (long long)memory);
+      return 0;
+    }
+
+    const core::Strategy strategy = parse_strategy(args.get("strategy", "recexpand"));
+    auto plan = core::run_strategy(strategy, tree, memory);
+    if (args.has("polish")) {
+      core::PolishOptions popts;
+      popts.max_evaluations = 3000;
+      const auto polished = core::polish_schedule(tree, plan.schedule, memory, popts);
+      if (polished.io_after < plan.io_volume()) {
+        std::fprintf(stderr, "polish improved the plan: %lld -> %lld I/O units\n",
+                     (long long)plan.io_volume(), (long long)polished.io_after);
+        plan.schedule = polished.schedule;
+        plan.evaluation = core::simulate_fif(tree, plan.schedule, memory);
+      }
+    }
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (args.has("out")) {
+      file.open(args.get("out", ""));
+      if (!file) throw std::runtime_error("cannot open --out file");
+      out = &file;
+    }
+
+    *out << "# ooc_planner plan\n"
+         << "# tree: " << tree.size() << " tasks, total data " << tree.total_weight() << "\n"
+         << "# LB " << lb << ", in-core peak " << peak << ", memory " << memory << "\n"
+         << "# strategy " << core::strategy_name(strategy) << ", io volume "
+         << plan.io_volume() << "\n"
+         << "# columns: step node spill_after_completion\n";
+    for (std::size_t t = 0; t < plan.schedule.size(); ++t) {
+      const core::NodeId node = plan.schedule[t];
+      *out << t << ' ' << node << ' ' << plan.evaluation.io[static_cast<std::size_t>(node)]
+           << '\n';
+    }
+
+    std::fprintf(stderr, "planned %zu tasks with %s: %lld I/O units (LB %lld, peak %lld, M %lld)\n",
+                 tree.size(), core::strategy_name(strategy).c_str(),
+                 (long long)plan.io_volume(), (long long)lb, (long long)peak,
+                 (long long)memory);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// MinIO with *atomic* writes — the variant the paper departs from.
+//
+// Jacquelin et al. [3] studied the same out-of-core model with the
+// restriction that a datum is either kept in memory or written to disk
+// *wholly* (tau(i) in {0, w_i}) and proved that variant NP-complete by
+// reduction from Partition. The present paper relaxes it to partial writes
+// (paging), which is what core/fif_simulator.hpp implements. This module
+// provides the atomic variant so the two models can be compared:
+//
+//   * simulate_atomic — runs a schedule under a memory bound with
+//     whole-datum evictions, victim chosen by a pluggable rule (FiF and
+//     three classical alternatives);
+//   * brute_force_min_io_atomic — the exact optimum on small trees, by
+//     exhausting (schedule, spill-set) pairs;
+//   * atomic heuristic strategies mirroring the fractional ones.
+//
+// Invariants linking the models (all tested): the fractional optimum lower
+// bounds the atomic optimum, the two coincide on homogeneous trees, and an
+// atomic execution is a valid traversal in the Section 3.1 sense.
+#pragma once
+
+#include <optional>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Victim rules for whole-datum eviction.
+enum class AtomicVictimRule : std::uint8_t {
+  kFurthestInFuture,  ///< parent scheduled latest (FiF transposed)
+  kSmallestSufficient,///< smallest datum that alone covers the deficit
+  kLargest,           ///< largest resident datum
+  kSmallest,          ///< smallest resident datum
+};
+
+/// Result of an atomic-eviction simulation.
+struct AtomicIoResult {
+  bool feasible = false;     ///< false if no eviction set can make a step fit
+  Weight io_volume = 0;      ///< sum of spilled data sizes
+  IoFunction io;             ///< tau(i) in {0, w_i}
+  std::int64_t spills = 0;   ///< number of whole-datum writes
+};
+
+/// Runs `schedule` under `memory` evicting whole data only. Unlike the
+/// fractional case, a step can be infeasible even when wbar fits: the
+/// resident set may not contain any subset whose eviction frees enough
+/// room... it always does (evict everything), so feasibility matches the
+/// fractional case; what changes is the volume. Throws on non-topological
+/// schedules.
+[[nodiscard]] AtomicIoResult simulate_atomic(const Tree& tree, const Schedule& schedule,
+                                             Weight memory,
+                                             AtomicVictimRule rule = AtomicVictimRule::kFurthestInFuture);
+
+/// Exact atomic optimum on small trees: minimizes over all topological
+/// orders and all spill sets. Guarded by `max_nodes` (default 9: the
+/// search is orders x 2^(n-1) validity checks).
+struct AtomicBruteForceResult {
+  Weight io_volume = 0;
+  Schedule schedule;
+  IoFunction io;
+};
+[[nodiscard]] AtomicBruteForceResult brute_force_min_io_atomic(const Tree& tree, Weight memory,
+                                                               std::size_t max_nodes = 9);
+
+/// Heuristic for the atomic problem: evaluates the three cheap fractional
+/// strategies' schedules under atomic FiF eviction and returns the best.
+[[nodiscard]] AtomicIoResult atomic_heuristic(const Tree& tree, Weight memory);
+
+}  // namespace ooctree::core

@@ -1,0 +1,102 @@
+#include "src/core/brute_force.hpp"
+
+#include <stdexcept>
+
+#include "src/core/fif_simulator.hpp"
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+struct Enumerator {
+  const Tree& tree;
+  const std::function<void(const Schedule&)>& visit;
+  Schedule current;
+  std::vector<NodeId> ready;                // executable nodes (all children done)
+  std::vector<std::size_t> remaining_kids;  // children not yet executed
+
+  void recurse() {
+    if (current.size() == tree.size()) {
+      visit(current);
+      return;
+    }
+    // Try each currently ready node in turn.
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      const NodeId node = ready[k];
+      // Execute `node`: swap-remove from ready, maybe enable the parent.
+      std::swap(ready[k], ready.back());
+      ready.pop_back();
+      current.push_back(node);
+      const NodeId parent = tree.parent(node);
+      bool enabled = false;
+      if (parent != kNoNode && --remaining_kids[idx(parent)] == 0) {
+        ready.push_back(parent);
+        enabled = true;
+      }
+
+      recurse();
+
+      // Undo.
+      if (enabled) ready.pop_back();
+      if (parent != kNoNode) ++remaining_kids[idx(parent)];
+      current.pop_back();
+      ready.push_back(node);
+      std::swap(ready[k], ready.back());
+    }
+  }
+};
+
+}  // namespace
+
+void for_each_topological_order(const Tree& tree, const std::function<void(const Schedule&)>& visit,
+                                std::size_t max_nodes) {
+  if (tree.size() > max_nodes)
+    throw std::invalid_argument("for_each_topological_order: tree too large for enumeration");
+  Enumerator e{tree, visit, {}, {}, {}};
+  e.current.reserve(tree.size());
+  e.remaining_kids.assign(tree.size(), 0);
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    e.remaining_kids[i] = tree.num_children(static_cast<NodeId>(i));
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    if (e.remaining_kids[i] == 0) e.ready.push_back(static_cast<NodeId>(i));
+  e.recurse();
+}
+
+BruteForceResult brute_force_min_io(const Tree& tree, Weight memory, std::size_t max_nodes) {
+  BruteForceResult best;
+  bool found = false;
+  for_each_topological_order(
+      tree,
+      [&](const Schedule& s) {
+        const FifResult r = simulate_fif(tree, s, memory);
+        if (!r.feasible) return;
+        if (!found || r.io_volume < best.objective) {
+          best.objective = r.io_volume;
+          best.schedule = s;
+          found = true;
+        }
+      },
+      max_nodes);
+  if (!found) throw std::runtime_error("brute_force_min_io: no feasible schedule (M < max wbar?)");
+  return best;
+}
+
+BruteForceResult brute_force_min_peak(const Tree& tree, std::size_t max_nodes) {
+  BruteForceResult best;
+  bool found = false;
+  for_each_topological_order(
+      tree,
+      [&](const Schedule& s) {
+        const Weight p = peak_memory(tree, s);
+        if (!found || p < best.objective) {
+          best.objective = p;
+          best.schedule = s;
+          found = true;
+        }
+      },
+      max_nodes);
+  return best;
+}
+
+}  // namespace ooctree::core

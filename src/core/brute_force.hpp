@@ -1,0 +1,36 @@
+// Exact exponential-time solvers used as test oracles.
+//
+// By Theorem 1, the I/O-optimal traversal pairs some topological order with
+// FiF evictions, so enumerating all topological orders and simulating FiF
+// on each yields the exact MinIO optimum. The same enumeration gives the
+// exact MinMem optimum. Both are restricted to small trees (the number of
+// linear extensions explodes) and guarded by a size limit.
+#pragma once
+
+#include <functional>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Calls `visit` with every topological order of the tree. Intended for
+/// trees of at most ~12 nodes; throws std::invalid_argument beyond
+/// `max_nodes` as a foot-gun guard.
+void for_each_topological_order(const Tree& tree, const std::function<void(const Schedule&)>& visit,
+                                std::size_t max_nodes = 12);
+
+/// Result of an exhaustive search.
+struct BruteForceResult {
+  Weight objective = 0;  ///< optimal I/O volume or peak memory
+  Schedule schedule;     ///< a witness order
+};
+
+/// Exact MinIO optimum: min over topological orders of the FiF I/O volume.
+[[nodiscard]] BruteForceResult brute_force_min_io(const Tree& tree, Weight memory,
+                                                  std::size_t max_nodes = 12);
+
+/// Exact MinMem optimum: min over topological orders of the peak memory.
+[[nodiscard]] BruteForceResult brute_force_min_peak(const Tree& tree, std::size_t max_nodes = 12);
+
+}  // namespace ooctree::core

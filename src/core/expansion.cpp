@@ -1,0 +1,77 @@
+#include "src/core/expansion.hpp"
+
+#include <stdexcept>
+
+#include "src/core/minmem_optimal.hpp"
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+ExpandedTree ExpandedTree::identity(Tree t) {
+  ExpandedTree out{std::move(t), {}, {}, 0};
+  out.origin.resize(out.tree.size());
+  for (std::size_t k = 0; k < out.tree.size(); ++k) out.origin[k] = static_cast<NodeId>(k);
+  out.role.assign(out.tree.size(), ExpansionRole::kCompute);
+  return out;
+}
+
+ExpandedTree ExpandedTree::expand(NodeId i, Weight tau) const {
+  if (i < 0 || idx(i) >= tree.size()) throw std::invalid_argument("expand: bad node id");
+  if (tau < 0 || tau > tree.weight(i)) throw std::invalid_argument("expand: tau out of range");
+
+  const auto n = tree.size();
+  // New ids: old node k keeps id k; i stays i1 (kCompute keeps its old
+  // children); i2 = n, i3 = n + 1 take over upward edges.
+  std::vector<NodeId> parent(n + 2, kNoNode);
+  std::vector<Weight> weight(n + 2, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    parent[k] = tree.parent(static_cast<NodeId>(k));
+    weight[k] = tree.weight(static_cast<NodeId>(k));
+  }
+  const auto i2 = static_cast<NodeId>(n);
+  const auto i3 = static_cast<NodeId>(n + 1);
+  parent[idx(i3)] = tree.parent(i);  // i3 replaces i below i's parent
+  parent[idx(i2)] = i3;
+  parent[idx(i)] = i2;
+  weight[idx(i2)] = tree.weight(i) - tau;
+  weight[idx(i3)] = tree.weight(i);
+
+  std::vector<NodeId> new_origin = origin;
+  new_origin.push_back(origin[idx(i)]);
+  new_origin.push_back(origin[idx(i)]);
+  std::vector<ExpansionRole> new_role = role;
+  // The expanded node keeps its role (a kShrunk node can be re-expanded:
+  // its i1 part remains kShrunk — it still performs no new computation).
+  new_role.push_back(ExpansionRole::kShrunk);
+  new_role.push_back(ExpansionRole::kRestored);
+  return ExpandedTree{Tree::from_parents(std::move(parent), std::move(weight), tree.memory_model()),
+                      std::move(new_origin), std::move(new_role), expansion_volume + tau};
+}
+
+Schedule ExpandedTree::map_schedule(const Schedule& expanded_schedule) const {
+  Schedule out;
+  out.reserve(expanded_schedule.size());
+  for (const NodeId k : expanded_schedule)
+    if (role[idx(k)] == ExpansionRole::kCompute) out.push_back(origin[idx(k)]);
+  return out;
+}
+
+std::optional<Schedule> schedule_from_io(const Tree& tree, const IoFunction& io, Weight memory) {
+  if (io.size() != tree.size()) throw std::invalid_argument("schedule_from_io: bad io length");
+  ExpandedTree expanded = ExpandedTree::identity(tree);
+  for (std::size_t k = 0; k < tree.size(); ++k) {
+    if (io[k] > 0) {
+      // Node ids below tree.size() are stable across expansions (new nodes
+      // are appended), so expanding in index order is safe.
+      expanded = expanded.expand(static_cast<NodeId>(k), io[k]);
+    }
+  }
+  OptMinMemResult opt = opt_minmem(expanded.tree);
+  if (opt.peak > memory) return std::nullopt;
+  return expanded.map_schedule(opt.schedule);
+}
+
+}  // namespace ooctree::core

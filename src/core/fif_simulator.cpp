@@ -1,0 +1,96 @@
+#include "src/core/fif_simulator.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+/// Active datum ordered by the step at which its parent consumes it;
+/// the set is iterated from the *latest* consumer backwards when evicting.
+struct ActiveKey {
+  std::size_t parent_step;
+  NodeId node;
+  bool operator<(const ActiveKey& o) const {
+    return parent_step != o.parent_step ? parent_step < o.parent_step : node < o.node;
+  }
+};
+}  // namespace
+
+FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory) {
+  if (!is_topological_order(tree, schedule))
+    throw std::invalid_argument("simulate_fif: schedule is not a topological order");
+
+  const std::vector<std::size_t> pos = schedule_positions(tree, schedule);
+
+  FifResult result;
+  result.io.assign(tree.size(), 0);
+
+  // resident[i]: units of node i's output currently in main memory.
+  std::vector<Weight> resident(tree.size(), 0);
+  // Active data with resident > 0, ordered by consumer step (FiF victims
+  // are taken from the back). The currently executing node's children are
+  // removed from the set before any eviction, so they are never victims.
+  std::set<ActiveKey> active;
+  Weight active_resident = 0;  // sum of resident[] over `active`
+
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    const NodeId node = schedule[t];
+
+    // The children of `node` are consumed now: bring evicted parts back
+    // (reads are not counted; write volume was charged at eviction time)
+    // and remove them from the active set.
+    for (const NodeId c : tree.children(node)) {
+      if (resident[idx(c)] > 0) {
+        active.erase(ActiveKey{t, c});
+        active_resident -= resident[idx(c)];
+      }
+      resident[idx(c)] = tree.weight(c);  // fully read back for execution
+    }
+
+    // Memory required while executing `node`: its own transient wbar plus
+    // everything else resident. Evict furthest-in-the-future data first.
+    const Weight budget = memory - tree.wbar(node);
+    if (budget < 0) {
+      result.feasible = false;
+      return result;
+    }
+    while (active_resident > budget) {
+      auto last = std::prev(active.end());
+      const NodeId victim = last->node;
+      const Weight excess = active_resident - budget;
+      const Weight amount = std::min(excess, resident[idx(victim)]);
+      resident[idx(victim)] -= amount;
+      active_resident -= amount;
+      result.io[idx(victim)] += amount;
+      result.io_volume += amount;
+      ++result.evictions;
+      if (resident[idx(victim)] == 0) active.erase(last);
+    }
+    result.peak_resident = std::max(result.peak_resident, active_resident + tree.wbar(node));
+
+    // The node's output is now resident; it becomes active until its parent
+    // runs (the root's output simply stays resident).
+    resident[idx(node)] = tree.weight(node);
+    if (node != tree.root()) {
+      active.insert(ActiveKey{pos[idx(tree.parent(node))], node});
+      active_resident += tree.weight(node);
+      // The output itself may immediately exceed the bound only if some
+      // later wbar cannot accommodate it; eviction happens lazily at that
+      // later step, which is equivalent in volume (FiF writes as late as
+      // logically possible without changing the count).
+    }
+  }
+
+  result.feasible = true;
+  return result;
+}
+
+Weight fif_io_volume(const Tree& tree, const Schedule& schedule, Weight memory) {
+  const FifResult r = simulate_fif(tree, schedule, memory);
+  return r.feasible ? r.io_volume : -1;
+}
+
+}  // namespace ooctree::core

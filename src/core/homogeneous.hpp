@@ -1,0 +1,45 @@
+// Homogeneous-tree theory (paper, Section 4.2).
+//
+// For trees whose outputs all have size 1, the paper defines labels on the
+// nodes which together give an *exact* expression of the optimal I/O
+// volume:
+//   l(v): minimum memory to execute T(v) without any I/O (children visited
+//         by non-increasing l; l(leaf) = 1),
+//   c(v_i): 1 iff POSTORDER writes one of v's children to disk while
+//           executing T(v_i),
+//   m(v_i): children of v resident in memory when T(v_i) starts,
+//   w(v) = sum of c over v's children,
+//   W(T(v)) = c(v) + sum of w over the subtree.
+// Lemma 3 shows POSTORDER performs at most W(T) I/Os; Lemma 5 shows no
+// schedule does better; Theorem 4 concludes POSTORDERMINIO is optimal on
+// homogeneous trees. W(T) therefore doubles as an exact optimum and as a
+// test oracle for every heuristic in this library.
+#pragma once
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// All Section 4.2 labels of a homogeneous tree under memory bound M.
+struct HomogeneousLabels {
+  std::vector<Weight> l;           ///< memory bound labels l(v)
+  std::vector<int> c;              ///< I/O indicators c(v)
+  std::vector<Weight> m;           ///< resident-sibling counts m(v)
+  std::vector<Weight> w;           ///< per-node I/O volumes w(v)
+  Weight total_io = 0;             ///< W(T) at the root — the exact optimum
+  Schedule postorder;              ///< the POSTORDER schedule (children by non-increasing l)
+};
+
+/// Computes the labels. Throws std::invalid_argument when the tree is not
+/// homogeneous (some weight differs from 1).
+[[nodiscard]] HomogeneousLabels homogeneous_labels(const Tree& tree, Weight memory);
+
+/// The exact optimal I/O volume W(T) of a homogeneous tree under M.
+[[nodiscard]] Weight homogeneous_optimal_io(const Tree& tree, Weight memory);
+
+/// l(root): the optimal in-core peak memory of a homogeneous tree
+/// (coincides with opt_minmem_peak on homogeneous inputs — Lemmas 1, 2).
+[[nodiscard]] Weight homogeneous_min_peak(const Tree& tree);
+
+}  // namespace ooctree::core

@@ -1,0 +1,32 @@
+#include "src/core/interleave.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ooctree::core {
+
+std::int64_t interleave_cost(const std::vector<InterleaveItem>& items,
+                             const std::vector<std::size_t>& order) {
+  std::int64_t base = 0;
+  std::int64_t worst = 0;
+  for (const std::size_t i : order) {
+    worst = std::max(worst, base + items[i].peak);
+    base += items[i].residue;
+  }
+  return worst;
+}
+
+std::vector<std::size_t> optimal_interleave_order(const std::vector<InterleaveItem>& items) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].peak - items[a].residue > items[b].peak - items[b].residue;
+  });
+  return order;
+}
+
+std::int64_t optimal_interleave_cost(const std::vector<InterleaveItem>& items) {
+  return interleave_cost(items, optimal_interleave_order(items));
+}
+
+}  // namespace ooctree::core

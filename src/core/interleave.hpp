@@ -1,0 +1,35 @@
+// Liu's interleaving lemma (paper, Theorem 3 — Lemma 3.1 in Liu 1986).
+//
+// Given pairs (x_i, y_i), the order minimizing  max_i (x_i + sum_{j<i} y_j)
+// sorts the pairs by non-increasing (x_i - y_i). The lemma underpins every
+// child-ordering rule in this library (PostOrderMinMem, PostOrderMinIO, and
+// the hill-valley merge inside OptMinMem), so it is exposed and tested on
+// its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ooctree::core {
+
+/// One item of the interleaving problem: executing it transiently costs
+/// `peak` above the current base and permanently adds `residue`.
+struct InterleaveItem {
+  std::int64_t peak = 0;     // x_i
+  std::int64_t residue = 0;  // y_i
+};
+
+/// The maximum of x_i + sum of previous residues under the given order.
+[[nodiscard]] std::int64_t interleave_cost(const std::vector<InterleaveItem>& items,
+                                           const std::vector<std::size_t>& order);
+
+/// An optimal order (indices into `items`): non-increasing peak - residue,
+/// stable for ties.
+[[nodiscard]] std::vector<std::size_t> optimal_interleave_order(
+    const std::vector<InterleaveItem>& items);
+
+/// Cost of the optimal order.
+[[nodiscard]] std::int64_t optimal_interleave_cost(const std::vector<InterleaveItem>& items);
+
+}  // namespace ooctree::core

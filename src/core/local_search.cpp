@@ -1,0 +1,135 @@
+#include "src/core/local_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+PolishResult polish_schedule(const Tree& tree, const Schedule& schedule, Weight memory,
+                             const PolishOptions& options) {
+  const FifResult initial = simulate_fif(tree, schedule, memory);
+  if (!initial.feasible) throw std::invalid_argument("polish_schedule: infeasible memory bound");
+
+  PolishResult result;
+  result.schedule = schedule;
+  result.io_before = initial.io_volume;
+  result.io_after = initial.io_volume;
+
+  util::Rng rng(options.seed);
+  Schedule current = schedule;
+  Weight current_io = initial.io_volume;
+  std::size_t since_improvement = 0;
+
+  std::vector<std::size_t> pos = schedule_positions(tree, current);
+
+  // Moves a contiguous block [from, from+len) to start at position `to`
+  // (positions refer to the pre-move schedule with the block removed).
+  const auto relocate_block = [](Schedule& s, std::size_t from, std::size_t len,
+                                 std::size_t to) {
+    if (to < from) {
+      std::rotate(s.begin() + static_cast<std::ptrdiff_t>(to),
+                  s.begin() + static_cast<std::ptrdiff_t>(from),
+                  s.begin() + static_cast<std::ptrdiff_t>(from + len));
+    } else if (to > from) {
+      std::rotate(s.begin() + static_cast<std::ptrdiff_t>(from),
+                  s.begin() + static_cast<std::ptrdiff_t>(from + len),
+                  s.begin() + static_cast<std::ptrdiff_t>(to + len));
+    }
+  };
+
+  while (result.evaluations < options.max_evaluations &&
+         since_improvement < options.patience && current_io > 0) {
+    Schedule candidate = current;
+
+    const double move_kind = rng.uniform_real();
+    if (move_kind < 0.3 && tree.size() >= 2) {
+      // Adjacent swap of independent neighbors.
+      const std::size_t t = rng.index(tree.size() - 1);
+      if (tree.parent(candidate[t]) == candidate[t + 1]) {
+        ++since_improvement;
+        continue;  // dependent: swap would break topology
+      }
+      std::swap(candidate[t], candidate[t + 1]);
+    } else if (move_kind < 0.65) {
+      // Relocate one task within its dependency window.
+      const NodeId v = static_cast<NodeId>(rng.index(tree.size()));
+      std::size_t lo = 0;  // earliest legal position (after the last child)
+      for (const NodeId c : tree.children(v)) lo = std::max(lo, pos[idx(c)] + 1);
+      std::size_t hi = tree.size() - 1;  // latest legal (before the parent)
+      if (tree.parent(v) != kNoNode) hi = pos[idx(tree.parent(v))] - 1;
+      if (hi <= lo) {
+        ++since_improvement;
+        continue;
+      }
+      const std::size_t from = pos[idx(v)];
+      const std::size_t to = lo + rng.index(hi - lo + 1);
+      if (to == from) {
+        ++since_improvement;
+        continue;
+      }
+      relocate_block(candidate, from, 1, to);
+      if (!is_topological_order(tree, candidate)) {
+        ++since_improvement;
+        continue;
+      }
+    } else {
+      // Relocate a short contiguous block (lets whole chain pieces
+      // regroup, which single-task moves cannot do in one step).
+      const std::size_t max_len = std::min<std::size_t>(8, tree.size() / 2);
+      if (max_len < 2) {
+        ++since_improvement;
+        continue;
+      }
+      const std::size_t len = 2 + rng.index(max_len - 1);
+      if (tree.size() <= len) {
+        ++since_improvement;
+        continue;
+      }
+      const std::size_t from = rng.index(tree.size() - len);
+      const std::size_t to = rng.index(tree.size() - len);
+      if (to == from) {
+        ++since_improvement;
+        continue;
+      }
+      relocate_block(candidate, from, len, to);
+      if (!is_topological_order(tree, candidate)) {
+        ++since_improvement;
+        continue;
+      }
+    }
+
+    ++result.evaluations;
+    const FifResult eval = simulate_fif(tree, candidate, memory);
+    if (!eval.feasible) {
+      ++since_improvement;
+      continue;
+    }
+    if (eval.io_volume < current_io) {
+      current = std::move(candidate);
+      current_io = eval.io_volume;
+      pos = schedule_positions(tree, current);
+      ++result.improvements;
+      since_improvement = 0;
+    } else if (eval.io_volume == current_io && rng.bernoulli(0.25)) {
+      // Plateau step: sideways moves escape flat regions; never worse.
+      current = std::move(candidate);
+      pos = schedule_positions(tree, current);
+      ++since_improvement;
+    } else {
+      ++since_improvement;
+    }
+  }
+
+  result.schedule = std::move(current);
+  result.io_after = current_io;
+  return result;
+}
+
+}  // namespace ooctree::core

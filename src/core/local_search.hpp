@@ -1,0 +1,43 @@
+// Local-search schedule polishing — a step toward the paper's open problem
+// (Section 7: "designing competitive algorithms for the sequential
+// problem").
+//
+// Every strategy in this library emits a schedule whose I/O volume is the
+// FiF evaluation (optimal for that schedule by Theorem 1); the schedule
+// itself may still be improvable. polish_schedule runs randomized hill
+// climbing over two topology-preserving neighborhoods:
+//   * adjacent swaps of independent tasks, and
+//   * single-task relocation within its dependency window
+//     (after its last child, before its parent).
+// Strict improvements are kept; the result is never worse than the input.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Knobs for the polishing loop.
+struct PolishOptions {
+  std::size_t max_evaluations = 4000;  ///< neighbor FiF evaluations
+  std::size_t patience = 1500;         ///< stop after this many non-improving tries
+  std::uint64_t seed = 1;              ///< neighborhood sampling seed
+};
+
+/// Outcome of a polishing run.
+struct PolishResult {
+  Schedule schedule;            ///< best schedule found
+  Weight io_before = 0;
+  Weight io_after = 0;
+  std::size_t improvements = 0;
+  std::size_t evaluations = 0;
+};
+
+/// Polishes `schedule` under memory bound M. Throws std::invalid_argument
+/// when the input schedule is not topological or the bound is infeasible.
+[[nodiscard]] PolishResult polish_schedule(const Tree& tree, const Schedule& schedule,
+                                           Weight memory, const PolishOptions& options = {});
+
+}  // namespace ooctree::core

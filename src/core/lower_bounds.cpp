@@ -1,0 +1,18 @@
+#include "src/core/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "src/core/homogeneous.hpp"
+#include "src/core/minmem_optimal.hpp"
+
+namespace ooctree::core {
+
+Weight io_lower_bound_peak_gap(const Tree& tree, Weight memory) {
+  return std::max<Weight>(0, opt_minmem_peak(tree, tree.root()) - memory);
+}
+
+Weight io_lower_bound_homogeneous(const Tree& tree, Weight memory) {
+  return homogeneous_optimal_io(tree, memory);
+}
+
+}  // namespace ooctree::core

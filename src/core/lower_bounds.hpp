@@ -1,0 +1,23 @@
+// Lower bounds on the MinIO optimum, used in tests and benches to sanity
+// check every heuristic from below.
+#pragma once
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// LB of Section 6.1: the smallest memory bound under which the tree is
+/// processable at all (max over nodes of wbar).
+[[nodiscard]] inline Weight minimum_memory(const Tree& tree) { return tree.min_feasible_memory(); }
+
+/// Peak-gap bound: any traversal with I/O function tau executes its
+/// schedule with full data sizes bounded by M + sum(tau), so
+///   OPT_io >= max(0, opt_minmem_peak - M).
+/// Cheap but often loose; exact on trees where one write suffices.
+[[nodiscard]] Weight io_lower_bound_peak_gap(const Tree& tree, Weight memory);
+
+/// Exact optimum for homogeneous trees (Theorem 4 / W(T)); forwards to the
+/// Section 4.2 labels. Throws if the tree is not homogeneous.
+[[nodiscard]] Weight io_lower_bound_homogeneous(const Tree& tree, Weight memory);
+
+}  // namespace ooctree::core

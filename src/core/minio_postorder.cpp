@@ -1,0 +1,61 @@
+#include "src/core/minio_postorder.hpp"
+
+#include <algorithm>
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+PostOrderMinIoResult postorder_minio(const Tree& tree, NodeId root, Weight memory) {
+  PostOrderMinIoResult result;
+  result.used.assign(tree.size(), 0);
+  result.storage.assign(tree.size(), 0);
+  result.io.assign(tree.size(), 0);
+  std::vector<std::vector<NodeId>> sorted_children(tree.size());
+
+  const std::vector<NodeId> order = tree.postorder(root);
+  for (const NodeId i : order) {
+    const auto kids = tree.children(i);
+    auto& sorted = sorted_children[idx(i)];
+    sorted.assign(kids.begin(), kids.end());
+    // Theorem 3 with x_j = A_j, y_j = w_j: sort by non-increasing A_j - w_j.
+    std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+      return result.used[idx(a)] - tree.weight(a) > result.used[idx(b)] - tree.weight(b);
+    });
+
+    Weight s = tree.weight(i);
+    Weight peak_used = 0;  // max_j (A_j + sum of w_k before j)
+    Weight io_sum = 0;
+    Weight before = 0;
+    for (const NodeId j : sorted) {
+      s = std::max(s, result.storage[idx(j)] + before);
+      peak_used = std::max(peak_used, result.used[idx(j)] + before);
+      io_sum += result.io[idx(j)];
+      before += tree.weight(j);
+    }
+    s = std::max(s, tree.wbar(i));
+    result.storage[idx(i)] = s;
+    result.used[idx(i)] = std::min(memory, s);
+    result.io[idx(i)] = std::max<Weight>(0, peak_used - memory) + io_sum;
+  }
+  result.predicted_io = result.io[idx(root)];
+
+  result.schedule.reserve(order.size());
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto& sorted = sorted_children[idx(node)];
+    if (next < sorted.size()) {
+      stack.emplace_back(sorted[next++], 0);
+    } else {
+      result.schedule.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return result;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,36 @@
+// Best postorder traversal for I/O-volume minimization (paper, Section 4.1;
+// adapted from E. Agullo's PhD thesis).
+//
+// Given a memory bound M, define for a postorder sigma:
+//   S_i = max( w_i, max_j ( S_j + sum of w_k over children before j ) )
+//   A_i = min(M, S_i)    -- main memory actually used out-of-core
+//   V_i = max(0, max_j ( A_j + sum_before w_k ) - M) + sum_j V_j
+// Theorem 3 (Liu's interleaving lemma) shows that ordering the children of
+// every node by non-increasing (A_j - w_j) minimizes V_root among all
+// postorders; the paper calls the resulting algorithm POSTORDERMINIO and
+// proves it I/O-optimal on homogeneous trees (Theorem 4).
+#pragma once
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Result of the best I/O postorder computation.
+struct PostOrderMinIoResult {
+  Schedule schedule;             ///< the A-ordered postorder
+  Weight predicted_io = 0;       ///< V_root: analytic I/O volume under FiF
+  std::vector<Weight> used;      ///< A_i per node
+  std::vector<Weight> storage;   ///< S_i per node (under this postorder)
+  std::vector<Weight> io;        ///< V_i per node (subtree I/O volumes)
+};
+
+/// Computes POSTORDERMINIO on the subtree rooted at `root` with memory M.
+[[nodiscard]] PostOrderMinIoResult postorder_minio(const Tree& tree, NodeId root, Weight memory);
+
+/// Whole-tree overload.
+[[nodiscard]] inline PostOrderMinIoResult postorder_minio(const Tree& tree, Weight memory) {
+  return postorder_minio(tree, tree.root(), memory);
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,147 @@
+#include "src/core/minmem_optimal.hpp"
+
+#include <algorithm>
+#include <list>
+#include <queue>
+
+namespace ooctree::core {
+
+namespace {
+
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+/// One hill-valley segment with the schedule chunk(s) it executes.
+struct Segment {
+  Weight hill = 0;
+  Weight valley = 0;
+  std::list<std::vector<NodeId>> chunks;  // spliceable schedule pieces
+};
+
+using SegSeq = std::vector<Segment>;
+
+/// Appends `s` to `seq`, restoring the normalization invariant
+/// (hills strictly decreasing, valleys strictly increasing) by merging
+/// backwards. Merging two adjacent segments keeps the max hill and the
+/// *later* valley — cutting at a valley that is not a running suffix
+/// minimum, or before a hill that is not a running suffix maximum, never
+/// helps the interleaving (Liu's normalization).
+void push_normalized(SegSeq& seq, Segment&& s) {
+  while (!seq.empty() && (seq.back().hill <= s.hill || seq.back().valley >= s.valley)) {
+    Segment& back = seq.back();
+    s.hill = std::max(s.hill, back.hill);
+    s.chunks.splice(s.chunks.begin(), back.chunks);
+    seq.pop_back();
+  }
+  seq.push_back(std::move(s));
+}
+
+/// Builds the normalized segment sequence of the subtree rooted at `node`
+/// given the (already normalized) sequences of its children, consuming
+/// them. `track_schedule` false skips all chunk bookkeeping.
+SegSeq combine_node(const Tree& tree, NodeId node, std::vector<SegSeq*>& child_seqs,
+                    bool track_schedule) {
+  SegSeq out;
+
+  if (child_seqs.size() == 1) {
+    // Single child: reuse its sequence in place (keeps chains linear-time).
+    out = std::move(*child_seqs.front());
+  } else if (!child_seqs.empty()) {
+    // K-way merge of children segments by non-increasing (hill - valley).
+    // Ordering is optimal by Theorem 3; per-child order is preserved since
+    // each normalized sequence has strictly decreasing (hill - valley).
+    struct Head {
+      Weight key;         // hill - valley of the child's next segment
+      std::size_t child;  // index into child_seqs
+      std::size_t pos;    // next segment within that child
+      bool operator<(const Head& o) const {
+        return key != o.key ? key < o.key : child > o.child;  // max-heap, stable tie-break
+      }
+    };
+    std::priority_queue<Head> heads;
+    for (std::size_t c = 0; c < child_seqs.size(); ++c) {
+      const SegSeq& seq = *child_seqs[c];
+      if (!seq.empty()) heads.push({seq[0].hill - seq[0].valley, c, 0});
+    }
+    std::vector<Weight> resident(child_seqs.size(), 0);
+    Weight base = 0;  // total resident memory across all children
+    while (!heads.empty()) {
+      const Head h = heads.top();
+      heads.pop();
+      Segment& s = (*child_seqs[h.child])[h.pos];
+      const Weight offset = base - resident[h.child];
+      Segment abs;
+      abs.hill = offset + s.hill;
+      abs.valley = offset + s.valley;
+      if (track_schedule) abs.chunks = std::move(s.chunks);
+      base = abs.valley;
+      resident[h.child] = s.valley;
+      push_normalized(out, std::move(abs));
+      const std::size_t next = h.pos + 1;
+      if (next < child_seqs[h.child]->size()) {
+        const Segment& n = (*child_seqs[h.child])[next];
+        heads.push({n.hill - n.valley, h.child, next});
+      }
+    }
+  }
+
+  // The node's own execution: all children outputs are resident
+  // (base == child_weight_sum), the transient peak is wbar, and the
+  // subtree's final resident memory is the node's output.
+  Segment own;
+  own.hill = tree.wbar(node);
+  own.valley = tree.weight(node);
+  if (track_schedule) own.chunks.emplace_back(1, node);
+  push_normalized(out, std::move(own));
+  return out;
+}
+
+OptMinMemResult run(const Tree& tree, NodeId root, bool track_schedule,
+                    std::vector<Weight>* all_peaks = nullptr) {
+  std::vector<SegSeq> seqs(tree.size());
+  const std::vector<NodeId> order = tree.postorder(root);
+  for (const NodeId node : order) {
+    std::vector<SegSeq*> child_seqs;
+    child_seqs.reserve(tree.num_children(node));
+    for (const NodeId c : tree.children(node)) child_seqs.push_back(&seqs[idx(c)]);
+    seqs[idx(node)] = combine_node(tree, node, child_seqs, track_schedule);
+    if (all_peaks != nullptr) {
+      Weight p = 0;
+      for (const Segment& s : seqs[idx(node)]) p = std::max(p, s.hill);
+      (*all_peaks)[idx(node)] = p;
+    }
+    for (const NodeId c : tree.children(node)) {
+      seqs[idx(c)].clear();
+      seqs[idx(c)].shrink_to_fit();
+    }
+  }
+
+  SegSeq& root_seq = seqs[idx(root)];
+  OptMinMemResult result;
+  result.peak = 0;
+  for (const Segment& s : root_seq) result.peak = std::max(result.peak, s.hill);
+  result.segments.reserve(root_seq.size());
+  for (const Segment& s : root_seq) result.segments.emplace_back(s.hill, s.valley);
+  if (track_schedule) {
+    result.schedule.reserve(order.size());
+    for (Segment& s : root_seq)
+      for (const std::vector<NodeId>& chunk : s.chunks)
+        result.schedule.insert(result.schedule.end(), chunk.begin(), chunk.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+OptMinMemResult opt_minmem(const Tree& tree, NodeId root) { return run(tree, root, true); }
+
+Weight opt_minmem_peak(const Tree& tree, NodeId root) {
+  return run(tree, root, false).peak;
+}
+
+std::vector<Weight> opt_minmem_all_peaks(const Tree& tree) {
+  std::vector<Weight> peaks(tree.size(), 0);
+  (void)run(tree, tree.root(), false, &peaks);
+  return peaks;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,56 @@
+// Optimal peak-memory tree traversal (Liu 1987), the paper's OPTMINMEM.
+//
+// Liu's generalized pebbling result, adapted to this memory model in
+// Jacquelin et al. (IPDPS'11): the optimal traversal of a subtree can be
+// represented as a normalized sequence of *hill-valley segments*
+//   (h_1, v_1), ..., (h_k, v_k)   with  h_1 > h_2 > ... and v_1 < v_2 < ...,
+// where h_t is the peak reached during segment t and v_t the resident
+// memory when the segment ends (the last valley is the subtree root's
+// output size). Combining the children of a node interleaves their segment
+// sequences in non-increasing (h - v) order — optimal by the interleaving
+// lemma (paper, Theorem 3) — after which the node's own execution step
+// (wbar, w) is appended and the sequence re-normalized.
+//
+// The implementation is iterative over a postorder (no recursion: 40k-node
+// chains must not overflow the call stack) and carries schedule chunks in
+// spliceable lists so segment merges cost O(1).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Result of the optimal MinMem computation.
+struct OptMinMemResult {
+  Schedule schedule;  ///< a traversal achieving the optimal peak
+  Weight peak = 0;    ///< the minimum achievable peak memory
+
+  /// Normalized hill-valley decomposition of the returned traversal
+  /// (absolute memory values; hills strictly decreasing, valleys strictly
+  /// increasing). Exposed for tests and for the RecExpand heuristic.
+  std::vector<std::pair<Weight, Weight>> segments;
+};
+
+/// Computes the optimal peak-memory traversal of the subtree rooted at
+/// `root`.
+[[nodiscard]] OptMinMemResult opt_minmem(const Tree& tree, NodeId root);
+
+/// Whole-tree overload.
+[[nodiscard]] inline OptMinMemResult opt_minmem(const Tree& tree) {
+  return opt_minmem(tree, tree.root());
+}
+
+/// The optimal peak only (same cost, skips schedule assembly bookkeeping).
+[[nodiscard]] Weight opt_minmem_peak(const Tree& tree, NodeId root);
+
+/// Optimal peaks of *every* subtree in a single bottom-up pass:
+/// result[v] == opt_minmem_peak(tree, v). Peaks are monotone along the
+/// tree (a parent's peak is at least each child's), which RecExpand uses
+/// to skip subtrees that fit in memory.
+[[nodiscard]] std::vector<Weight> opt_minmem_all_peaks(const Tree& tree);
+
+}  // namespace ooctree::core

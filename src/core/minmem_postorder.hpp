@@ -1,0 +1,35 @@
+// Best postorder traversal for peak-memory minimization (Liu 1986).
+//
+// A postorder traversal fully processes each subtree before starting a
+// sibling subtree. Liu showed the peak-memory-optimal postorder orders the
+// children of every node by non-increasing (S_j - w_j), where S_j is the
+// storage requirement of the subtree rooted at j (paper, Section 3.3 and
+// Theorem 3):
+//
+//   S_i = max( w_i, max_j ( S_j + sum of w_k over children k before j ) ).
+//
+// The paper refers to this algorithm as POSTORDERMINMEM.
+#pragma once
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Result of the best peak-memory postorder computation.
+struct PostOrderMinMemResult {
+  Schedule schedule;               ///< the optimal postorder
+  Weight peak = 0;                 ///< S_root: its peak memory
+  std::vector<Weight> storage;     ///< S_i for every node (subtree storage requirement)
+};
+
+/// Computes Liu's best postorder for MinMem on the subtree rooted at `root`.
+/// Iterative over a postorder of the tree; safe on deep chains.
+[[nodiscard]] PostOrderMinMemResult postorder_minmem(const Tree& tree, NodeId root);
+
+/// Whole-tree overload.
+[[nodiscard]] inline PostOrderMinMemResult postorder_minmem(const Tree& tree) {
+  return postorder_minmem(tree, tree.root());
+}
+
+}  // namespace ooctree::core

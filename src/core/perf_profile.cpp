@@ -1,0 +1,64 @@
+#include "src/core/perf_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+std::vector<ProfileCurve> performance_profiles(
+    const std::vector<AlgorithmPerformance>& algorithms) {
+  if (algorithms.empty()) return {};
+  const std::size_t n = algorithms.front().performance.size();
+  for (const auto& a : algorithms)
+    if (a.performance.size() != n)
+      throw std::invalid_argument("performance_profiles: ragged instance grid");
+  if (n == 0) throw std::invalid_argument("performance_profiles: no instances");
+
+  // Best observed performance per instance.
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  for (const auto& a : algorithms)
+    for (std::size_t i = 0; i < n; ++i) best[i] = std::min(best[i], a.performance[i]);
+
+  std::vector<ProfileCurve> curves;
+  curves.reserve(algorithms.size());
+  for (const auto& a : algorithms) {
+    // Overheads of this algorithm, sorted: the curve steps at each of them.
+    std::vector<double> over(n);
+    for (std::size_t i = 0; i < n; ++i) over[i] = a.performance[i] / best[i] - 1.0;
+    std::sort(over.begin(), over.end());
+
+    ProfileCurve c;
+    c.name = a.name;
+    c.overhead.push_back(0.0);
+    c.fraction.push_back(0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double frac = static_cast<double>(i + 1) / static_cast<double>(n);
+      if (!c.overhead.empty() && std::abs(c.overhead.back() - over[i]) < 1e-15) {
+        c.fraction.back() = frac;  // merge equal thresholds
+      } else {
+        c.overhead.push_back(over[i]);
+        c.fraction.push_back(frac);
+      }
+    }
+    // Fix the tau=0 point: it must report the share of instances where the
+    // algorithm *is* the best (overhead exactly 0).
+    if (c.overhead.size() > 1 && c.overhead[0] == 0.0 && c.overhead[1] == 0.0) {
+      c.overhead.erase(c.overhead.begin());
+      c.fraction.erase(c.fraction.begin());
+    }
+    curves.push_back(std::move(c));
+  }
+  return curves;
+}
+
+double profile_at(const ProfileCurve& curve, double tau) {
+  double value = 0.0;
+  for (std::size_t i = 0; i < curve.overhead.size(); ++i) {
+    if (curve.overhead[i] <= tau + 1e-12) value = curve.fraction[i];
+  }
+  return value;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,46 @@
+// Dolan-Moré performance profiles (paper, Section 6.2).
+//
+// An instance solved with k I/Os under memory bound M has performance
+// (M + k) / M. For each algorithm, the profile maps an overhead threshold
+// tau (in percent) to the fraction of instances whose performance is within
+// tau of the best performance observed on that instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Performance of one algorithm on the instance grid (one value per
+/// instance; same instance order across algorithms).
+struct AlgorithmPerformance {
+  std::string name;
+  std::vector<double> performance;
+};
+
+/// One profile curve: step points (overhead fraction, cumulative share).
+struct ProfileCurve {
+  std::string name;
+  std::vector<double> overhead;  ///< tau values: perf/best - 1
+  std::vector<double> fraction;  ///< share of instances within tau of best
+};
+
+/// The paper's performance measure.
+[[nodiscard]] inline double io_performance(Weight memory, Weight io_volume) {
+  return static_cast<double>(memory + io_volume) / static_cast<double>(memory);
+}
+
+/// Computes one curve per algorithm. All algorithms must cover the same
+/// number of instances; throws std::invalid_argument otherwise. The curves
+/// are right-continuous step functions evaluated at every distinct overhead
+/// value present in the data (plus 0), so plotting them reproduces the
+/// paper's figures exactly.
+[[nodiscard]] std::vector<ProfileCurve> performance_profiles(
+    const std::vector<AlgorithmPerformance>& algorithms);
+
+/// Fraction of instances with overhead at most `tau` for a single curve.
+[[nodiscard]] double profile_at(const ProfileCurve& curve, double tau);
+
+}  // namespace ooctree::core

@@ -1,0 +1,78 @@
+// The paper's novel heuristics FULLRECEXPAND and RECEXPAND (Section 5,
+// Algorithm 2).
+//
+// Idea: run OptMinMem; when its traversal of a subtree needs more than M,
+// the FiF policy identifies a datum that must be (partially) written out.
+// That I/O is *forced into the tree* by expanding the node (Figure 3), so
+// subsequent OptMinMem runs are aware of it. Subtrees are processed bottom
+// up; at each node the expand-and-retry loop runs until the subtree fits in
+// memory (FullRecExpand) or at most `max_expansions_per_node` times
+// (RecExpand — the paper's variant exits after 2 iterations).
+//
+// The final schedule is OptMinMem on the fully expanded tree, mapped back
+// to the original nodes; by Theorem 1 its FiF evaluation never exceeds the
+// total expanded volume.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "src/core/expansion.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Which FiF-positive node to expand at each iteration. The paper selects
+/// the node whose parent is scheduled latest; the alternatives exist for
+/// the ablation study (bench_ablation_victim).
+enum class VictimRule : std::uint8_t {
+  kLatestParent,   ///< the paper's rule (Algorithm 2, line 6)
+  kEarliestParent, ///< opposite extreme
+  kLargestIo,      ///< node with the largest FiF write amount
+  kFirstScheduled, ///< earliest-produced datum with positive tau
+};
+
+/// Tuning knobs for the RecExpand family.
+struct RecExpandOptions {
+  /// Maximum expand-and-retry iterations of the while loop per node.
+  /// Paper: infinity for FullRecExpand, 2 for RecExpand.
+  std::size_t max_expansions_per_node = std::numeric_limits<std::size_t>::max();
+
+  /// Expansion victim selection rule.
+  VictimRule victim_rule = VictimRule::kLatestParent;
+
+  /// Safety valve: total expansions across the whole run. FullRecExpand's
+  /// loop count is not polynomially bounded (Section 5), so a cap keeps
+  /// adversarial inputs from running away; the result stays a valid
+  /// traversal because the mapped schedule is re-evaluated with FiF.
+  std::size_t global_expansion_cap = std::numeric_limits<std::size_t>::max();
+};
+
+/// Result of a RecExpand run.
+struct RecExpandResult {
+  Schedule schedule;              ///< schedule on the original tree
+  FifResult evaluation;           ///< FiF evaluation of `schedule` under M
+  Weight expansion_volume = 0;    ///< sum of all expansion amounts
+  std::size_t expansions = 0;     ///< number of expansions performed
+  Weight final_peak = 0;          ///< OptMinMem peak of the final expanded tree
+};
+
+/// Runs the heuristic with the given options.
+[[nodiscard]] RecExpandResult rec_expand(const Tree& tree, Weight memory,
+                                         const RecExpandOptions& options);
+
+/// FULLRECEXPAND: unbounded per-node loop.
+[[nodiscard]] inline RecExpandResult full_rec_expand(const Tree& tree, Weight memory) {
+  return rec_expand(tree, memory, RecExpandOptions{});
+}
+
+/// RECEXPAND: per-node loop capped at 2 iterations (paper, end of Sec. 5).
+[[nodiscard]] inline RecExpandResult rec_expand2(const Tree& tree, Weight memory) {
+  RecExpandOptions o;
+  o.max_expansions_per_node = 2;
+  return rec_expand(tree, memory, o);
+}
+
+}  // namespace ooctree::core

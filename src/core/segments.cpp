@@ -1,0 +1,51 @@
+#include "src/core/segments.hpp"
+
+#include <stdexcept>
+
+namespace ooctree::core {
+
+std::vector<ProfileSegment> hill_valley_decomposition(const Tree& tree,
+                                                      const Schedule& schedule) {
+  if (!is_topological_order(tree, schedule))
+    throw std::invalid_argument("hill_valley_decomposition: not a topological order");
+
+  // Resident memory *between* steps: after step t the outputs of all
+  // produced-but-unconsumed nodes are live. During step t the transient is
+  // wbar; hills are maxima over the during-step values, valleys are
+  // between-step values.
+  const std::size_t n = schedule.size();
+  std::vector<Weight> during(n, 0), after(n, 0);
+  Weight active = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const NodeId node = schedule[t];
+    for (const NodeId c : tree.children(node)) active -= tree.weight(c);
+    during[t] = active + tree.wbar(node);
+    if (node != tree.root()) active += tree.weight(node);
+    after[t] = active + (node == tree.root() ? tree.weight(node) : 0);
+  }
+  // The root's output counts as the final resident value.
+  after[n - 1] = tree.weight(tree.root());
+
+  // Canonical construction via the stack merge used in minmem_optimal:
+  // push (hill = during[t], valley = after[t]) per step and normalize.
+  std::vector<ProfileSegment> out;
+  for (std::size_t t = 0; t < n; ++t) {
+    ProfileSegment s{during[t], after[t], t + 1};
+    while (!out.empty() && (out.back().hill <= s.hill || out.back().valley >= s.valley)) {
+      s.hill = std::max(s.hill, out.back().hill);
+      out.pop_back();
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::pair<Weight, Weight>> hill_valley_pairs(const Tree& tree,
+                                                         const Schedule& schedule) {
+  std::vector<std::pair<Weight, Weight>> out;
+  for (const ProfileSegment& s : hill_valley_decomposition(tree, schedule))
+    out.emplace_back(s.hill, s.valley);
+  return out;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,37 @@
+// Hill-valley decomposition of memory profiles.
+//
+// Liu's normalized segment representation — hills strictly decreasing,
+// valleys strictly increasing — underlies OptMinMem (minmem_optimal.cpp)
+// and is useful on its own: it is the *compact certificate* of a
+// traversal's memory behaviour (paper, Section 3.2). Cutting a schedule at
+// its normalized valleys yields exactly the positions where pausing the
+// subtree to run something else is potentially profitable.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// One normalized segment of a memory profile.
+struct ProfileSegment {
+  Weight hill = 0;        ///< maximum resident memory within the segment
+  Weight valley = 0;      ///< resident memory at the segment's end
+  std::size_t end = 0;    ///< exclusive schedule index where the segment ends
+};
+
+/// Canonical hill-valley decomposition of `schedule`'s in-core memory
+/// profile: hills strictly decrease, valleys strictly increase, the last
+/// segment ends at schedule.size() with valley = w(root). Throws on
+/// non-topological schedules.
+[[nodiscard]] std::vector<ProfileSegment> hill_valley_decomposition(const Tree& tree,
+                                                                    const Schedule& schedule);
+
+/// Convenience: (hill, valley) pairs only.
+[[nodiscard]] std::vector<std::pair<Weight, Weight>> hill_valley_pairs(const Tree& tree,
+                                                                       const Schedule& schedule);
+
+}  // namespace ooctree::core

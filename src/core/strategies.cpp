@@ -1,0 +1,51 @@
+#include "src/core/strategies.hpp"
+
+#include <stdexcept>
+
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/rec_expand.hpp"
+
+namespace ooctree::core {
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kPostOrderMinIo: return "PostOrderMinIO";
+    case Strategy::kOptMinMem: return "OptMinMem";
+    case Strategy::kRecExpand: return "RecExpand";
+    case Strategy::kFullRecExpand: return "FullRecExpand";
+  }
+  throw std::invalid_argument("strategy_name: unknown strategy");
+}
+
+std::vector<Strategy> all_strategies() {
+  return {Strategy::kOptMinMem, Strategy::kRecExpand, Strategy::kPostOrderMinIo,
+          Strategy::kFullRecExpand};
+}
+
+std::vector<Strategy> cheap_strategies() {
+  return {Strategy::kOptMinMem, Strategy::kRecExpand, Strategy::kPostOrderMinIo};
+}
+
+StrategyOutcome run_strategy(Strategy s, const Tree& tree, Weight memory) {
+  StrategyOutcome out;
+  out.strategy = s;
+  switch (s) {
+    case Strategy::kPostOrderMinIo:
+      out.schedule = postorder_minio(tree, memory).schedule;
+      break;
+    case Strategy::kOptMinMem:
+      out.schedule = opt_minmem(tree).schedule;
+      break;
+    case Strategy::kRecExpand:
+      out.schedule = rec_expand2(tree, memory).schedule;
+      break;
+    case Strategy::kFullRecExpand:
+      out.schedule = full_rec_expand(tree, memory).schedule;
+      break;
+  }
+  out.evaluation = simulate_fif(tree, out.schedule, memory);
+  return out;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,46 @@
+// Uniform entry point over the four MinIO strategies the paper compares.
+//
+// Every strategy produces a schedule on the original tree; its I/O volume
+// is the FiF evaluation of that schedule (optimal for the schedule by
+// Theorem 1), so the comparison across strategies is apples-to-apples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// The strategies evaluated in Section 6.
+enum class Strategy {
+  kPostOrderMinIo,  ///< best I/O postorder (Agullo)             — POSTORDERMINIO
+  kOptMinMem,       ///< optimal peak-memory traversal + FiF     — OPTMINMEM
+  kRecExpand,       ///< expansion heuristic, 2 iterations/node  — RECEXPAND
+  kFullRecExpand,   ///< expansion heuristic, unbounded loop     — FULLRECEXPAND
+};
+
+/// Display name matching the paper.
+[[nodiscard]] std::string strategy_name(Strategy s);
+
+/// All four strategies in the paper's plotting order.
+[[nodiscard]] std::vector<Strategy> all_strategies();
+
+/// The three cheap strategies used on the TREES dataset (the paper omits
+/// FullRecExpand there because of its cost).
+[[nodiscard]] std::vector<Strategy> cheap_strategies();
+
+/// Outcome of one strategy on one instance.
+struct StrategyOutcome {
+  Strategy strategy;
+  Schedule schedule;
+  FifResult evaluation;  ///< FiF evaluation under the instance's memory bound
+
+  [[nodiscard]] Weight io_volume() const { return evaluation.io_volume; }
+};
+
+/// Runs one strategy on (tree, memory).
+[[nodiscard]] StrategyOutcome run_strategy(Strategy s, const Tree& tree, Weight memory);
+
+}  // namespace ooctree::core

@@ -1,0 +1,62 @@
+// Schedules, I/O functions and traversal validity (paper, Section 3.1).
+//
+// A *traversal* is a pair (sigma, tau): sigma is a topological execution
+// order of the tree's nodes, and tau(i) in [0, w_i] is the amount of node
+// i's output written to disk right after i completes (and read back right
+// before its parent executes). Only writes are counted as I/O. This header
+// provides the validity conditions of Section 3.1 verbatim, plus the
+// in-core peak-memory evaluation used by the MinMem algorithms.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Execution order: schedule[t] is the node computed at step t.
+using Schedule = std::vector<NodeId>;
+
+/// I/O function: tau[i] units of node i's output are written to disk.
+using IoFunction = std::vector<Weight>;
+
+/// A complete solution to MinIO.
+struct Traversal {
+  Schedule schedule;
+  IoFunction io;
+
+  /// Total written volume (the MinIO objective).
+  [[nodiscard]] Weight io_volume() const {
+    Weight v = 0;
+    for (const Weight t : io) v += t;
+    return v;
+  }
+};
+
+/// True when `schedule` is a permutation of all nodes that executes every
+/// node before its parent.
+[[nodiscard]] bool is_topological_order(const Tree& tree, const Schedule& schedule);
+
+/// Checks the three validity conditions of Section 3.1 for (schedule, io)
+/// under memory bound M. Returns std::nullopt when valid, otherwise a
+/// human-readable description of the first violated condition.
+[[nodiscard]] std::optional<std::string> validate_traversal(const Tree& tree,
+                                                            const Schedule& schedule,
+                                                            const IoFunction& io, Weight memory);
+
+/// Peak memory of a schedule executed fully in core (no I/O): the largest
+/// value over steps t of  (resident outputs not consumed yet) + wbar(node).
+/// This is the MinMem objective for the given order.
+[[nodiscard]] Weight peak_memory(const Tree& tree, const Schedule& schedule);
+
+/// Per-step resident memory profile of an in-core execution: profile[t] is
+/// the memory in use while executing schedule[t] (active data + wbar).
+[[nodiscard]] std::vector<Weight> memory_profile(const Tree& tree, const Schedule& schedule);
+
+/// Position of each node in the schedule: position[i] = t iff schedule[t]==i.
+[[nodiscard]] std::vector<std::size_t> schedule_positions(const Tree& tree,
+                                                          const Schedule& schedule);
+
+}  // namespace ooctree::core

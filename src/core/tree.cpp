@@ -1,0 +1,155 @@
+#include "src/core/tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+Tree Tree::from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
+                        MemoryModel model) {
+  if (parent.size() != weight.size())
+    throw std::invalid_argument("Tree: parent/weight arrays differ in length");
+  if (parent.empty()) throw std::invalid_argument("Tree: empty tree");
+  const auto n = parent.size();
+  const auto ni = static_cast<NodeId>(n);
+
+  Tree t;
+  t.parent_ = std::move(parent);
+  t.weight_ = std::move(weight);
+  t.model_ = model;
+
+  t.root_ = kNoNode;
+  for (NodeId i = 0; i < ni; ++i) {
+    const NodeId p = t.parent_[idx(i)];
+    if (p == kNoNode) {
+      if (t.root_ != kNoNode) throw std::invalid_argument("Tree: multiple roots");
+      t.root_ = i;
+    } else if (p < 0 || p >= ni || p == i) {
+      throw std::invalid_argument("Tree: invalid parent index");
+    }
+    if (t.weight_[idx(i)] < 0) throw std::invalid_argument("Tree: negative weight");
+  }
+  if (t.root_ == kNoNode) throw std::invalid_argument("Tree: no root");
+
+  // Children CSR (counting sort keeps children ordered by increasing id).
+  t.child_offset_.assign(n + 1, 0);
+  for (NodeId i = 0; i < ni; ++i)
+    if (t.parent_[idx(i)] != kNoNode) ++t.child_offset_[idx(t.parent_[idx(i)]) + 1];
+  for (std::size_t j = 0; j < n; ++j) t.child_offset_[j + 1] += t.child_offset_[j];
+  t.child_list_.assign(n - 1, kNoNode);
+  std::vector<std::int64_t> cursor(t.child_offset_.begin(), t.child_offset_.end() - 1);
+  for (NodeId i = 0; i < ni; ++i) {
+    const NodeId p = t.parent_[idx(i)];
+    if (p != kNoNode) t.child_list_[static_cast<std::size_t>(cursor[idx(p)]++)] = i;
+  }
+
+  // Acyclicity: every node must reach the root; equivalently the postorder
+  // from the root must visit all n nodes.
+  if (t.postorder(t.root_).size() != n)
+    throw std::invalid_argument("Tree: parent array contains a cycle or disconnected part");
+
+  t.child_sum_.assign(n, 0);
+  t.wbar_.assign(n, 0);
+  t.total_weight_ = 0;
+  for (NodeId i = 0; i < ni; ++i) {
+    Weight s = 0;
+    for (const NodeId c : t.children(i)) s += t.weight_[idx(c)];
+    t.child_sum_[idx(i)] = s;
+    t.wbar_[idx(i)] =
+        model == MemoryModel::kMaxInOut ? std::max(t.weight_[idx(i)], s) : t.weight_[idx(i)] + s;
+    t.max_wbar_ = std::max(t.max_wbar_, t.wbar_[idx(i)]);
+    t.total_weight_ += t.weight_[idx(i)];
+  }
+  return t;
+}
+
+std::vector<NodeId> Tree::postorder(NodeId r) const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  // Iterative two-stack postorder: push node, then children; reverse at end
+  // would give a mirrored order, so instead track per-node child progress.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(r, 0);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto kids = children(node);
+    if (next_child < kids.size()) {
+      const NodeId c = kids[next_child++];
+      stack.emplace_back(c, 0);
+    } else {
+      out.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+std::size_t Tree::subtree_size(NodeId r) const { return postorder(r).size(); }
+
+Tree Tree::with_memory_model(MemoryModel model) const {
+  return from_parents(parent_, weight_, model);
+}
+
+Tree Tree::subtree(NodeId r, std::vector<NodeId>* old_ids) const {
+  const std::vector<NodeId> order = postorder(r);
+  std::vector<NodeId> new_id(size(), kNoNode);
+  for (std::size_t k = 0; k < order.size(); ++k) new_id[idx(order[k])] = static_cast<NodeId>(k);
+
+  std::vector<NodeId> parent(order.size(), kNoNode);
+  std::vector<Weight> weight(order.size(), 0);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const NodeId old = order[k];
+    weight[k] = weight_[idx(old)];
+    if (old != r) parent[k] = new_id[idx(parent_[idx(old)])];
+  }
+  if (old_ids != nullptr) *old_ids = order;
+  return from_parents(std::move(parent), std::move(weight), model_);
+}
+
+std::size_t Tree::depth() const {
+  std::vector<std::size_t> d(size(), 0);
+  std::size_t best = 0;
+  // Parents first: walk a reverse postorder.
+  const std::vector<NodeId> order = postorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId i = *it;
+    d[idx(i)] = (parent_[idx(i)] == kNoNode) ? 1 : d[idx(parent_[idx(i)])] + 1;
+    best = std::max(best, d[idx(i)]);
+  }
+  return best;
+}
+
+bool Tree::is_homogeneous() const {
+  return std::all_of(weight_.begin(), weight_.end(), [](Weight w) { return w == 1; });
+}
+
+std::string Tree::to_string() const {
+  std::ostringstream os;
+  os << "Tree(n=" << size() << ", root=" << root_ << ")\n";
+  // Depth-first with indentation.
+  std::vector<std::pair<NodeId, int>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const auto [node, level] = stack.back();
+    stack.pop_back();
+    for (int k = 0; k < level; ++k) os << "  ";
+    os << node << " (w=" << weight_[idx(node)] << ")\n";
+    const auto kids = children(node);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.emplace_back(*it, level + 1);
+  }
+  return os.str();
+}
+
+Tree make_tree(const std::vector<std::pair<NodeId, Weight>>& nodes) {
+  std::vector<NodeId> parent;
+  std::vector<Weight> weight;
+  parent.reserve(nodes.size());
+  weight.reserve(nodes.size());
+  for (const auto& [p, w] : nodes) {
+    parent.push_back(p);
+    weight.push_back(w);
+  }
+  return Tree::from_parents(std::move(parent), std::move(weight));
+}
+
+}  // namespace ooctree::core

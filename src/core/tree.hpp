@@ -1,0 +1,133 @@
+// Task-tree data structure for out-of-core tree scheduling (RR-9025 model).
+//
+// A Tree is a rooted in-tree: every node i produces one output datum of
+// size weight(i) consumed by its parent. Executing node i requires the
+// output of all its children plus its own output to be in main memory, a
+// transient requirement of wbar(i) = max(weight(i), sum of children
+// weights). Trees are immutable after construction; algorithms that rewrite
+// trees (node expansion, subtree extraction) build new Tree objects and
+// return index maps back to the original nodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ooctree::core {
+
+/// Node index inside a Tree; nodes are numbered 0..size()-1.
+using NodeId = std::int32_t;
+
+/// Size of a node's output datum, in abstract memory units (paper: integer
+/// units such as kilobytes or pages).
+using Weight = std::int64_t;
+
+/// Sentinel parent of the root node.
+inline constexpr NodeId kNoNode = -1;
+
+/// Transient-memory model: how much memory executing a node needs.
+///
+/// The paper (RR-9025) assumes the inputs are overwritten by the output,
+/// so a task transiently needs max(inputs, output). Liu's original
+/// pebbling model — and solvers that assemble the front next to the
+/// children's contribution blocks — need inputs *and* output live at once.
+/// Every algorithm in this library is generic in the choice: it only
+/// enters through wbar().
+enum class MemoryModel : std::uint8_t {
+  kMaxInOut,  ///< wbar(i) = max(w_i, sum of children weights)   [the paper]
+  kSumInOut,  ///< wbar(i) = w_i + sum of children weights       [Liu 1987]
+};
+
+/// Immutable rooted in-tree of weighted tasks.
+class Tree {
+ public:
+  /// Builds a tree from a parent array (parent[root] == kNoNode) and output
+  /// data sizes. Throws std::invalid_argument when the arrays do not
+  /// describe a single rooted tree, when a weight is negative, or when the
+  /// two arrays differ in length.
+  static Tree from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
+                           MemoryModel model = MemoryModel::kMaxInOut);
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+  [[nodiscard]] NodeId root() const { return root_; }
+
+  [[nodiscard]] Weight weight(NodeId i) const { return weight_[idx(i)]; }
+  [[nodiscard]] NodeId parent(NodeId i) const { return parent_[idx(i)]; }
+
+  /// Children of i, ordered by increasing node id.
+  [[nodiscard]] std::span<const NodeId> children(NodeId i) const {
+    const auto b = static_cast<std::size_t>(child_offset_[idx(i)]);
+    const auto e = static_cast<std::size_t>(child_offset_[idx(i) + 1]);
+    return {child_list_.data() + b, e - b};
+  }
+
+  [[nodiscard]] bool is_leaf(NodeId i) const { return children(i).empty(); }
+  [[nodiscard]] std::size_t num_children(NodeId i) const { return children(i).size(); }
+
+  /// Sum of the children's output sizes (the input volume of node i).
+  [[nodiscard]] Weight child_weight_sum(NodeId i) const { return child_sum_[idx(i)]; }
+
+  /// Transient memory needed to execute i in isolation; the formula
+  /// depends on the tree's MemoryModel (see enum above).
+  [[nodiscard]] Weight wbar(NodeId i) const { return wbar_[idx(i)]; }
+
+  /// The memory model this tree was built with.
+  [[nodiscard]] MemoryModel memory_model() const { return model_; }
+
+  /// The same tree under the other transient-memory model.
+  [[nodiscard]] Tree with_memory_model(MemoryModel model) const;
+
+  /// Largest wbar over all nodes: the minimum memory bound LB for which the
+  /// tree is processable at all (paper, Section 6.1).
+  [[nodiscard]] Weight min_feasible_memory() const { return max_wbar_; }
+
+  /// Total weight of all outputs (an upper bound on any resident set).
+  [[nodiscard]] Weight total_weight() const { return total_weight_; }
+
+  /// Nodes of the subtree rooted at r in depth-first postorder: every node
+  /// appears after all of its descendants; r is last. Children are visited
+  /// in stored (increasing-id) order. Iterative — safe on deep chains.
+  [[nodiscard]] std::vector<NodeId> postorder(NodeId r) const;
+
+  /// Postorder of the whole tree (root() is the last element).
+  [[nodiscard]] std::vector<NodeId> postorder() const { return postorder(root_); }
+
+  /// Number of nodes in the subtree rooted at r.
+  [[nodiscard]] std::size_t subtree_size(NodeId r) const;
+
+  /// Extracts the subtree rooted at r as a standalone Tree. When old_ids is
+  /// non-null it receives, for each new node index, the corresponding node
+  /// id in this tree.
+  [[nodiscard]] Tree subtree(NodeId r, std::vector<NodeId>* old_ids = nullptr) const;
+
+  /// Depth of the tree: number of nodes on the longest root-to-leaf path.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// True when every node has weight 1 (the homogeneous case of Section 4.2).
+  [[nodiscard]] bool is_homogeneous() const;
+
+  /// Multi-line human-readable rendering (small trees; for debugging).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Tree() = default;
+  static std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+  std::vector<NodeId> parent_;
+  std::vector<Weight> weight_;
+  std::vector<std::int64_t> child_offset_;  // CSR offsets, size n+1
+  std::vector<NodeId> child_list_;          // CSR adjacency, size n-1
+  std::vector<Weight> child_sum_;
+  std::vector<Weight> wbar_;
+  NodeId root_ = kNoNode;
+  Weight max_wbar_ = 0;
+  Weight total_weight_ = 0;
+  MemoryModel model_ = MemoryModel::kMaxInOut;
+};
+
+/// Convenience builder used heavily in tests: nodes are given as
+/// (parent, weight) pairs in index order.
+[[nodiscard]] Tree make_tree(const std::vector<std::pair<NodeId, Weight>>& nodes);
+
+}  // namespace ooctree::core

@@ -1,0 +1,65 @@
+#include "src/core/tree_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+void write_tree(std::ostream& out, const Tree& tree) {
+  out << "# ooctree task tree: one node per line, '<parent|-1> <weight>'\n";
+  out << "# n=" << tree.size() << " root=" << tree.root() << "\n";
+  out << "#!model "
+      << (tree.memory_model() == MemoryModel::kSumInOut ? "sum" : "max") << "\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    out << tree.parent(id) << ' ' << tree.weight(id) << '\n';
+  }
+}
+
+void save_tree(const std::string& path, const Tree& tree) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_tree: cannot open " + path);
+  write_tree(out, tree);
+  if (!out) throw std::runtime_error("save_tree: write failed for " + path);
+}
+
+Tree read_tree(std::istream& in) {
+  std::vector<NodeId> parent;
+  std::vector<Weight> weight;
+  MemoryModel model = MemoryModel::kMaxInOut;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("#!model", 0) == 0) {
+      if (line.find("sum") != std::string::npos) model = MemoryModel::kSumInOut;
+      continue;
+    }
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    NodeId p = 0;
+    Weight w = 0;
+    if (!(ls >> p)) continue;  // blank or comment-only line
+    if (!(ls >> w)) {
+      throw std::runtime_error("read_tree: missing weight on line " + std::to_string(line_no));
+    }
+    parent.push_back(p);
+    weight.push_back(w);
+  }
+  if (parent.empty()) throw std::runtime_error("read_tree: no nodes found");
+  try {
+    return Tree::from_parents(std::move(parent), std::move(weight), model);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("read_tree: ") + e.what());
+  }
+}
+
+Tree load_tree(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_tree: cannot open " + path);
+  return read_tree(in);
+}
+
+}  // namespace ooctree::core

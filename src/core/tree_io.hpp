@@ -1,0 +1,29 @@
+// Plain-text serialization of task trees.
+//
+// Format (one node per line, ids implicit by line order, '#' comments):
+//     <parent-id or -1 for the root> <weight>
+// The format round-trips any Tree and is the interchange format of the
+// example tools (ooc_planner reads it, the generators can write it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Writes the tree to a stream in the text format above.
+void write_tree(std::ostream& out, const Tree& tree);
+
+/// Writes the tree to a file; throws std::runtime_error on I/O failure.
+void save_tree(const std::string& path, const Tree& tree);
+
+/// Parses a tree from a stream; throws std::runtime_error on malformed
+/// input (with a line number in the message).
+[[nodiscard]] Tree read_tree(std::istream& in);
+
+/// Reads a tree from a file; throws std::runtime_error on failure.
+[[nodiscard]] Tree load_tree(const std::string& path);
+
+}  // namespace ooctree::core

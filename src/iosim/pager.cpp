@@ -1,0 +1,189 @@
+#include "src/iosim/pager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ooctree::iosim {
+
+using core::kNoNode;
+using core::NodeId;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+std::string policy_name(Policy p) {
+  switch (p) {
+    case Policy::kBelady: return "Belady";
+    case Policy::kLru: return "LRU";
+    case Policy::kFifo: return "FIFO";
+    case Policy::kRandom: return "Random";
+    case Policy::kLargestFirst: return "LargestFirst";
+  }
+  throw std::invalid_argument("policy_name: unknown policy");
+}
+
+namespace {
+
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+Weight div_ceil(Weight a, Weight b) { return (a + b - 1) / b; }
+
+/// Per-datum pager state.
+struct DatumState {
+  Weight resident_pages = 0;   ///< pages currently in frames
+  Weight total_pages = 0;      ///< pages of the whole datum
+  std::size_t consumer = 0;    ///< schedule position of the parent
+  std::int64_t last_touch = 0; ///< for LRU
+  std::int64_t loaded_at = 0;  ///< for FIFO
+  bool active = false;
+};
+
+}  // namespace
+
+Weight min_feasible_frames(const Tree& tree, Weight page_size) {
+  if (page_size <= 0) throw std::invalid_argument("min_feasible_frames: bad page size");
+  Weight frames = 0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    Weight child_pages = 0;
+    for (const NodeId c : tree.children(id)) child_pages += div_ceil(tree.weight(c), page_size);
+    const Weight work = std::max(child_pages, div_ceil(tree.wbar(id), page_size));
+    frames = std::max(frames, work);
+  }
+  return frames;
+}
+
+PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConfig& config) {
+  if (config.page_size <= 0) throw std::invalid_argument("run_pager: page_size must be positive");
+  if (!core::is_topological_order(tree, schedule))
+    throw std::invalid_argument("run_pager: schedule is not a topological order");
+
+  const Weight frames = config.memory / config.page_size;
+  const std::vector<std::size_t> pos = core::schedule_positions(tree, schedule);
+  util::Rng rng(config.seed);
+
+  std::vector<DatumState> state(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    state[i].total_pages = div_ceil(tree.weight(static_cast<NodeId>(i)), config.page_size);
+    state[i].consumer =
+        tree.parent(static_cast<NodeId>(i)) == kNoNode ? schedule.size() : pos[idx(tree.parent(static_cast<NodeId>(i)))];
+  }
+
+  PagerStats stats;
+  Weight frames_used = 0;
+  std::int64_t clock = 0;
+
+  // Pick the eviction victim among active data with resident pages,
+  // excluding the pinned children of the node being executed.
+  const auto pick_victim = [&](const std::vector<bool>& pinned) -> NodeId {
+    NodeId best = kNoNode;
+    std::vector<NodeId> candidates;  // only used by kRandom
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (!state[i].active || state[i].resident_pages == 0 || pinned[i]) continue;
+      switch (config.policy) {
+        case Policy::kBelady:
+          if (best == kNoNode || state[i].consumer > state[idx(best)].consumer) best = id;
+          break;
+        case Policy::kLru:
+          if (best == kNoNode || state[i].last_touch < state[idx(best)].last_touch) best = id;
+          break;
+        case Policy::kFifo:
+          if (best == kNoNode || state[i].loaded_at < state[idx(best)].loaded_at) best = id;
+          break;
+        case Policy::kLargestFirst:
+          if (best == kNoNode || state[i].resident_pages > state[idx(best)].resident_pages)
+            best = id;
+          break;
+        case Policy::kRandom:
+          candidates.push_back(id);
+          break;
+      }
+    }
+    if (config.policy == Policy::kRandom && !candidates.empty())
+      best = candidates[rng.index(candidates.size())];
+    return best;
+  };
+
+  // Free frames until `needed` are available, evicting via the policy.
+  const auto make_room = [&](Weight needed, const std::vector<bool>& pinned) -> bool {
+    while (frames - frames_used < needed) {
+      const NodeId victim = pick_victim(pinned);
+      if (victim == kNoNode) return false;
+      const Weight deficit = needed - (frames - frames_used);
+      const Weight take = std::min(deficit, state[idx(victim)].resident_pages);
+      state[idx(victim)].resident_pages -= take;
+      frames_used -= take;
+      stats.pages_written += take;  // data produced in memory: always dirty
+      ++stats.eviction_events;
+    }
+    return true;
+  };
+
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    const NodeId node = schedule[t];
+    ++clock;
+
+    std::vector<bool> pinned(tree.size(), false);
+    for (const NodeId c : tree.children(node)) pinned[idx(c)] = true;
+
+    // 1. Read back missing pages of the children (they are pinned).
+    for (const NodeId c : tree.children(node)) {
+      const Weight missing = state[idx(c)].total_pages - state[idx(c)].resident_pages;
+      if (missing > 0) {
+        if (!make_room(missing, pinned)) {
+          stats.feasible = false;
+          return stats;
+        }
+        state[idx(c)].resident_pages += missing;
+        frames_used += missing;
+        stats.pages_read += missing;
+      }
+      state[idx(c)].last_touch = clock;
+    }
+
+    // 2. Working space for the execution itself: the children pages are
+    // already pinned; the transient extra is wbar minus the children total
+    // (covers the case where the output is larger than the inputs).
+    const Weight child_pages = [&] {
+      Weight s = 0;
+      for (const NodeId c : tree.children(node)) s += state[idx(c)].total_pages;
+      return s;
+    }();
+    const Weight work_pages =
+        std::max(child_pages, div_ceil(tree.wbar(node), config.page_size));
+    const Weight extra = work_pages - child_pages;
+    if (extra > 0 && !make_room(extra, pinned)) {
+      stats.feasible = false;
+      return stats;
+    }
+    stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used + extra);
+
+    // 3. Execution: children pages are consumed and released; the node's
+    // output becomes resident.
+    for (const NodeId c : tree.children(node)) {
+      frames_used -= state[idx(c)].resident_pages;
+      state[idx(c)].resident_pages = 0;
+      state[idx(c)].active = false;
+    }
+    const Weight out_pages = state[idx(node)].total_pages;
+    if (!make_room(out_pages, pinned)) {
+      stats.feasible = false;
+      return stats;
+    }
+    state[idx(node)].resident_pages = out_pages;
+    state[idx(node)].active = node != tree.root();
+    state[idx(node)].last_touch = clock;
+    state[idx(node)].loaded_at = clock;
+    frames_used += out_pages;
+    stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used);
+  }
+
+  stats.feasible = true;
+  return stats;
+}
+
+}  // namespace ooctree::iosim

@@ -1,0 +1,69 @@
+// Page-granular out-of-core execution simulator.
+//
+// The analytic FiF counter in core/ works in abstract memory units and
+// counts writes only, as the paper does. This module simulates the same
+// executions the way a real paging runtime would: data are split into
+// fixed-size pages, memory is a set of frames, evictions pick victims via a
+// pluggable replacement policy, and both writes and read-backs are traced.
+// Two uses:
+//   * cross-validation — with page_size = 1 and the Belady policy, the
+//     pager's write count must equal core::simulate_fif exactly;
+//   * the eviction-policy ablation (bench_ablation_eviction), which shows
+//     how far LRU/FIFO/random-style policies are from Belady's bound,
+//     i.e. the practical content of the paper's Theorem 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::iosim {
+
+/// Replacement policies for choosing which active datum loses pages.
+enum class Policy : std::uint8_t {
+  kBelady,         ///< evict the datum consumed furthest in the future (FiF)
+  kLru,            ///< least recently touched datum
+  kFifo,           ///< oldest resident datum
+  kRandom,         ///< uniform among evictable data
+  kLargestFirst,   ///< datum with the most resident pages
+};
+
+[[nodiscard]] std::string policy_name(Policy p);
+
+/// Pager configuration.
+struct PagerConfig {
+  core::Weight page_size = 1;     ///< memory units per page
+  core::Weight memory = 0;        ///< memory bound in units (frames = memory / page_size)
+  Policy policy = Policy::kBelady;
+  std::uint64_t seed = 1;         ///< for Policy::kRandom
+};
+
+/// Aggregate statistics of one simulated execution.
+struct PagerStats {
+  bool feasible = false;
+  std::int64_t pages_written = 0;  ///< evictions (every page is dirty: produced in memory)
+  std::int64_t pages_read = 0;     ///< read-backs of previously evicted pages
+  std::int64_t eviction_events = 0;
+  std::int64_t peak_frames_used = 0;
+
+  /// Write volume in memory units (pages_written * page_size).
+  [[nodiscard]] core::Weight write_volume(const PagerConfig& c) const {
+    return pages_written * c.page_size;
+  }
+};
+
+/// Runs `schedule` through the pager. The schedule must be topological
+/// (throws std::invalid_argument otherwise). Infeasible configurations
+/// (some node's working set exceeds the frame count) return
+/// feasible = false.
+[[nodiscard]] PagerStats run_pager(const core::Tree& tree, const core::Schedule& schedule,
+                                   const PagerConfig& config);
+
+/// The page-granular analogue of Tree::min_feasible_memory(): the smallest
+/// frame count under which every single task's working set fits (per-child
+/// page rounding makes this larger than ceil(LB / page_size)).
+[[nodiscard]] core::Weight min_feasible_frames(const core::Tree& tree, core::Weight page_size);
+
+}  // namespace ooctree::iosim

@@ -1,0 +1,136 @@
+#include "src/iosim/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ooctree::iosim {
+
+using core::kNoNode;
+using core::NodeId;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+struct ActiveKey {
+  std::size_t parent_step;
+  NodeId node;
+  bool operator<(const ActiveKey& o) const {
+    return parent_step != o.parent_step ? parent_step < o.parent_step : node < o.node;
+  }
+};
+}  // namespace
+
+std::vector<Weight> ExecutionTrace::resident_series() const {
+  std::vector<Weight> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) out.push_back(e.resident_after);
+  return out;
+}
+
+ExecutionTrace trace_execution(const Tree& tree, const Schedule& schedule, Weight memory) {
+  if (!core::is_topological_order(tree, schedule))
+    throw std::invalid_argument("trace_execution: schedule is not a topological order");
+  const std::vector<std::size_t> pos = core::schedule_positions(tree, schedule);
+
+  ExecutionTrace trace;
+  std::vector<Weight> resident(tree.size(), 0);
+  std::set<ActiveKey> active;
+  Weight active_resident = 0;
+
+  for (std::size_t t = 0; t < schedule.size(); ++t) {
+    const NodeId node = schedule[t];
+
+    // Read back evicted parts of the children.
+    for (const NodeId c : tree.children(node)) {
+      const Weight missing = tree.weight(c) - resident[idx(c)];
+      if (resident[idx(c)] > 0) {
+        active.erase(ActiveKey{t, c});
+        active_resident -= resident[idx(c)];
+      }
+      if (missing > 0) {
+        trace.read += missing;
+        trace.events.push_back(
+            {TraceEvent::Kind::kRead, t, c, missing, active_resident});
+      }
+      resident[idx(c)] = tree.weight(c);
+    }
+
+    // FiF evictions to fit wbar(node).
+    const Weight budget = memory - tree.wbar(node);
+    if (budget < 0) return trace;  // infeasible, trace.feasible stays false
+    while (active_resident > budget) {
+      const auto last = std::prev(active.end());
+      const NodeId victim = last->node;
+      const Weight amount = std::min(active_resident - budget, resident[idx(victim)]);
+      resident[idx(victim)] -= amount;
+      active_resident -= amount;
+      trace.written += amount;
+      trace.events.push_back(
+          {TraceEvent::Kind::kWrite, t, victim, amount, active_resident});
+      if (resident[idx(victim)] == 0) active.erase(last);
+    }
+
+    trace.peak_resident = std::max(trace.peak_resident, active_resident + tree.wbar(node));
+    trace.events.push_back({TraceEvent::Kind::kCompute, t, node, tree.wbar(node),
+                            active_resident + tree.weight(node)});
+
+    resident[idx(node)] = tree.weight(node);
+    if (node != tree.root()) {
+      active.insert(ActiveKey{pos[idx(tree.parent(node))], node});
+      active_resident += tree.weight(node);
+    }
+  }
+  trace.feasible = true;
+  return trace;
+}
+
+double io_time(const ExecutionTrace& trace, const DiskModel& disk) {
+  std::int64_t transfers = 0;
+  Weight volume = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind != TraceEvent::Kind::kCompute) {
+      ++transfers;
+      volume += e.amount;
+    }
+  }
+  return disk.transfer_time(volume, transfers);
+}
+
+std::string format_trace(const Tree& tree, const ExecutionTrace& trace, Weight memory,
+                         std::size_t max_steps) {
+  std::ostringstream os;
+  os << "step  node   wbar  | resident after | I/O\n";
+  std::size_t steps_shown = 0;
+  std::string io_notes;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kWrite) {
+      io_notes += " W(" + std::to_string(e.node) + ":" + std::to_string(e.amount) + ")";
+    } else if (e.kind == TraceEvent::Kind::kRead) {
+      io_notes += " R(" + std::to_string(e.node) + ":" + std::to_string(e.amount) + ")";
+    } else {
+      if (steps_shown >= max_steps) {
+        os << "... (" << trace.events.size() << " events total)\n";
+        break;
+      }
+      const auto bar_len = static_cast<std::size_t>(
+          std::min<Weight>(40, memory > 0 ? 40 * e.resident_after / memory : 0));
+      char line[64];
+      std::snprintf(line, sizeof line, "%4zu  %4d  %5lld | ", e.step, e.node,
+                    static_cast<long long>(tree.wbar(e.node)));
+      os << line << std::string(bar_len, '#') << std::string(40 - bar_len, '.') << " |"
+         << io_notes << '\n';
+      io_notes.clear();
+      ++steps_shown;
+    }
+  }
+  os << "written " << trace.written << ", read " << trace.read << ", peak "
+     << trace.peak_resident << " / M " << memory << '\n';
+  return os.str();
+}
+
+}  // namespace ooctree::iosim

@@ -1,0 +1,66 @@
+// Execution traces and I/O time estimation for out-of-core schedules.
+//
+// The analytic counters answer "how much is written"; this module answers
+// "what does the execution look like": a step-by-step event log (compute /
+// write / read with amounts and resident sizes) plus a simple disk model
+// turning volumes into seconds, so the examples can show a timeline and
+// users can size memory against a target I/O budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::iosim {
+
+/// One traced event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kCompute, kWrite, kRead };
+  Kind kind = Kind::kCompute;
+  std::size_t step = 0;       ///< schedule position of the surrounding compute
+  core::NodeId node = core::kNoNode;  ///< computed node / datum moved
+  core::Weight amount = 0;    ///< units computed (wbar) or transferred
+  core::Weight resident_after = 0;    ///< total resident memory afterwards
+};
+
+/// Full trace of a schedule executed under FiF evictions.
+struct ExecutionTrace {
+  bool feasible = false;
+  std::vector<TraceEvent> events;
+  core::Weight written = 0;
+  core::Weight read = 0;
+  core::Weight peak_resident = 0;
+
+  /// Resident-memory series sampled after every event (for plotting).
+  [[nodiscard]] std::vector<core::Weight> resident_series() const;
+};
+
+/// Traces `schedule` under `memory` with FiF evictions; event amounts
+/// reproduce core::simulate_fif exactly (same policy, same lazy timing).
+[[nodiscard]] ExecutionTrace trace_execution(const core::Tree& tree,
+                                             const core::Schedule& schedule,
+                                             core::Weight memory);
+
+/// A disk with fixed per-operation latency and sustained bandwidth.
+struct DiskModel {
+  double latency_s = 1e-4;        ///< seek/queue overhead per transfer
+  double bandwidth_per_s = 1e9;   ///< memory units per second
+
+  /// Seconds to move `amount` units in `transfers` operations.
+  [[nodiscard]] double transfer_time(core::Weight amount, std::int64_t transfers) const {
+    return static_cast<double>(transfers) * latency_s +
+           static_cast<double>(amount) / bandwidth_per_s;
+  }
+};
+
+/// Aggregate I/O time of a trace under the disk model (writes + reads).
+[[nodiscard]] double io_time(const ExecutionTrace& trace, const DiskModel& disk);
+
+/// Renders the trace as a compact text timeline (one line per compute step
+/// with its I/O annotations) — used by the spill_timeline example.
+[[nodiscard]] std::string format_trace(const core::Tree& tree, const ExecutionTrace& trace,
+                                       core::Weight memory, std::size_t max_steps = 200);
+
+}  // namespace ooctree::iosim

@@ -1,0 +1,237 @@
+#include "src/parallel/parallel_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "src/core/minmem_postorder.hpp"
+
+namespace ooctree::parallel {
+
+using core::kNoNode;
+using core::NodeId;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+namespace {
+
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+
+double task_cost(const Tree& tree, NodeId i, CostModel cost) {
+  switch (cost) {
+    case CostModel::kWbar: return static_cast<double>(tree.wbar(i));
+    case CostModel::kWeight: return static_cast<double>(tree.weight(i));
+    case CostModel::kUnit: return 1.0;
+  }
+  throw std::invalid_argument("task_cost: unknown cost model");
+}
+
+}  // namespace
+
+double critical_path(const Tree& tree, CostModel cost) {
+  std::vector<double> up(tree.size(), 0.0);
+  double best = 0.0;
+  for (const NodeId v : tree.postorder()) {
+    double deepest_child = 0.0;
+    for (const NodeId c : tree.children(v)) deepest_child = std::max(deepest_child, up[idx(c)]);
+    up[idx(v)] = deepest_child + task_cost(tree, v, cost);
+    best = std::max(best, up[idx(v)]);
+  }
+  return best;
+}
+
+double total_work(const Tree& tree, CostModel cost) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    total += task_cost(tree, static_cast<NodeId>(i), cost);
+  return total;
+}
+
+ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
+                                 const Schedule& reference) {
+  if (config.workers < 1) throw std::invalid_argument("simulate_parallel: need >= 1 worker");
+
+  const Schedule ref =
+      reference.empty() ? core::postorder_minmem(tree).schedule : reference;
+  if (!core::is_topological_order(tree, ref))
+    throw std::invalid_argument("simulate_parallel: reference is not a topological order");
+  const std::vector<std::size_t> ref_pos = core::schedule_positions(tree, ref);
+
+  // Priority keys (higher runs first).
+  std::vector<double> priority_key(tree.size(), 0.0);
+  {
+    std::vector<double> up(tree.size(), 0.0);
+    std::vector<double> subtree(tree.size(), 0.0);
+    for (const NodeId v : tree.postorder()) {
+      double deepest = 0.0;
+      double work = task_cost(tree, v, config.cost);
+      for (const NodeId c : tree.children(v)) {
+        deepest = std::max(deepest, up[idx(c)]);
+        work += subtree[idx(c)];
+      }
+      up[idx(v)] = deepest + task_cost(tree, v, config.cost);
+      subtree[idx(v)] = work;
+    }
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      switch (config.priority) {
+        case Priority::kSequentialOrder:
+          priority_key[i] = -static_cast<double>(ref_pos[i]);
+          break;
+        case Priority::kCriticalPath:
+          priority_key[i] = up[i];
+          break;
+        case Priority::kHeaviestSubtree:
+          priority_key[i] = subtree[i];
+          break;
+      }
+    }
+  }
+
+  ParallelResult result;
+  result.io.assign(tree.size(), 0);
+  result.start_time.assign(tree.size(), -1.0);
+  result.finish_time.assign(tree.size(), -1.0);
+
+  // State.
+  std::vector<Weight> resident(tree.size(), 0);  // in-memory part of outputs
+  std::vector<bool> output_live(tree.size(), false);
+  std::vector<std::size_t> missing_children(tree.size(), 0);
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    missing_children[i] = tree.num_children(static_cast<NodeId>(i));
+
+  // Ready tasks ordered by priority (then reference position for ties).
+  const auto readier = [&](NodeId a, NodeId b) {
+    if (priority_key[idx(a)] != priority_key[idx(b)])
+      return priority_key[idx(a)] > priority_key[idx(b)];
+    return ref_pos[idx(a)] < ref_pos[idx(b)];
+  };
+  std::vector<NodeId> ready;
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    if (missing_children[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  std::sort(ready.begin(), ready.end(), readier);
+
+  // Running tasks as (finish_time, node) events.
+  using Event = std::pair<double, NodeId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  int idle = config.workers;
+  double now = 0.0;
+  Weight memory_used = 0;  // running reservations + live output parts
+
+  // Evicts from live outputs (parents not yet started) until `needed`
+  // additional units fit; victims are furthest in the reference order.
+  // Returns false when even full eviction cannot make room.
+  const auto make_room = [&](Weight needed, NodeId starting) -> bool {
+    if (memory_used + needed <= config.memory) return true;
+    std::vector<NodeId> victims;
+    for (std::size_t k = 0; k < tree.size(); ++k) {
+      const auto id = static_cast<NodeId>(k);
+      if (!output_live[k] || resident[k] == 0) continue;
+      bool is_child = false;
+      for (const NodeId c : tree.children(starting)) is_child |= (c == id);
+      if (!is_child) victims.push_back(id);
+    }
+    std::sort(victims.begin(), victims.end(), [&](NodeId a, NodeId b) {
+      return ref_pos[idx(tree.parent(a))] > ref_pos[idx(tree.parent(b))];
+    });
+    for (const NodeId v : victims) {
+      if (memory_used + needed <= config.memory) break;
+      const Weight take =
+          std::min(resident[idx(v)], memory_used + needed - config.memory);
+      resident[idx(v)] -= take;
+      memory_used -= take;
+      result.io[idx(v)] += take;
+      result.io_volume += take;
+    }
+    return memory_used + needed <= config.memory;
+  };
+
+  const auto try_start = [&](NodeId i) -> bool {
+    // Memory delta of starting i: children read back to full size, then
+    // their outputs fold into the running reservation wbar(i).
+    Weight readback = 0;
+    Weight child_resident = 0;
+    for (const NodeId c : tree.children(i)) {
+      readback += tree.weight(c) - resident[idx(c)];
+      child_resident += tree.weight(c);
+    }
+    // Peak during the start transition: everything else + full children +
+    // wbar... the reservation replaces the children outputs, so the
+    // requirement is max(readback step, running step); the running step
+    // dominates because wbar >= sum of children weights.
+    const Weight delta = tree.wbar(i) - (child_resident - readback);
+    if (!make_room(delta, i)) return false;
+    for (const NodeId c : tree.children(i)) {
+      memory_used += tree.weight(c) - resident[idx(c)];
+      resident[idx(c)] = tree.weight(c);
+    }
+    for (const NodeId c : tree.children(i)) {
+      memory_used -= tree.weight(c);
+      resident[idx(c)] = 0;
+      output_live[idx(c)] = false;
+    }
+    memory_used += tree.wbar(i);
+    result.peak_resident = std::max(result.peak_resident, memory_used);
+
+    result.start_time[idx(i)] = now;
+    result.start_order.push_back(i);
+    const double cost = task_cost(tree, i, config.cost);
+    result.busy_time += cost;
+    running.emplace(now + cost, i);
+    --idle;
+    return true;
+  };
+
+  std::size_t completed = 0;
+  while (completed < tree.size()) {
+    // Start as many ready tasks as possible, best priority first.
+    bool started = true;
+    while (started && idle > 0 && !ready.empty()) {
+      started = false;
+      for (std::size_t k = 0; k < ready.size(); ++k) {
+        if (try_start(ready[k])) {
+          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
+          started = true;
+          break;
+        }
+        if (!config.backfill) break;  // strict priority: do not skip ahead
+      }
+    }
+
+    if (running.empty()) {
+      // No task running and nothing startable: with all evictable data
+      // flushed the smallest wbar must fit, so this means M < LB.
+      result.feasible = false;
+      return result;
+    }
+
+    // Advance to the next completion.
+    const auto [finish, node] = running.top();
+    running.pop();
+    now = finish;
+    result.finish_time[idx(node)] = now;
+    ++idle;
+    ++completed;
+
+    // Reservation wbar collapses to the output size.
+    memory_used -= tree.wbar(node);
+    if (node != tree.root()) {
+      memory_used += tree.weight(node);
+      resident[idx(node)] = tree.weight(node);
+      output_live[idx(node)] = true;
+    }
+
+    const NodeId parent = tree.parent(node);
+    if (parent != kNoNode && --missing_children[idx(parent)] == 0) {
+      const auto at = std::lower_bound(ready.begin(), ready.end(), parent, readier);
+      ready.insert(at, parent);
+    }
+  }
+
+  result.makespan = now;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace ooctree::parallel

@@ -1,0 +1,82 @@
+// Parallel out-of-core tree execution — the paper's declared next step
+// (Section 7: "moving to parallel out-of-core execution").
+//
+// A pool of identical workers processes the task tree under a *shared*
+// memory bound M. While task i runs it holds its transient wbar(i); its
+// children's outputs are consumed at start (after reading back any evicted
+// parts) and its own output stays resident until its parent starts. When a
+// start does not fit, active outputs are evicted (partially, paging model)
+// — or the start is delayed. The simulator is event-driven and reports
+// makespan, written volume and the full execution trace, so the
+// parallelism-vs-I/O tradeoff that motivates the paper's future work can
+// be measured (bench_parallel_tradeoff).
+#pragma once
+
+#include <vector>
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::parallel {
+
+/// How a task's duration is derived from the tree.
+enum class CostModel {
+  kWbar,    ///< duration = wbar(i): front size drives the flop count
+  kWeight,  ///< duration = w(i)
+  kUnit,    ///< duration = 1
+};
+
+/// Which ready task starts first when a worker frees up.
+enum class Priority {
+  kSequentialOrder,  ///< follow a reference sequential schedule's order
+  kCriticalPath,     ///< longest remaining path to the root first
+  kHeaviestSubtree,  ///< largest remaining subtree work first
+};
+
+/// Simulation knobs.
+struct ParallelConfig {
+  int workers = 2;
+  core::Weight memory = 0;
+  CostModel cost = CostModel::kWbar;
+  Priority priority = Priority::kCriticalPath;
+  /// When the best-priority ready task does not fit in memory even after
+  /// evicting every evictable byte, allow lower-priority ready tasks to
+  /// start instead (backfilling). Without it the pool idles until memory
+  /// frees up.
+  bool backfill = true;
+};
+
+/// Outcome of a parallel simulation.
+struct ParallelResult {
+  bool feasible = false;
+  double makespan = 0.0;
+  core::Weight io_volume = 0;        ///< written volume (reads mirror writes)
+  core::IoFunction io;               ///< per-output written amounts
+  core::Schedule start_order;        ///< tasks by start time
+  std::vector<double> start_time;    ///< per task
+  std::vector<double> finish_time;   ///< per task
+  core::Weight peak_resident = 0;    ///< never exceeds memory when feasible
+  double busy_time = 0.0;            ///< sum of task durations
+
+  /// Worker utilization in [0, 1].
+  [[nodiscard]] double utilization(int workers) const {
+    return makespan > 0 ? busy_time / (makespan * workers) : 1.0;
+  }
+};
+
+/// Runs the simulation. `reference` supplies the order for
+/// Priority::kSequentialOrder and the eviction tie-break (furthest in the
+/// reference order is evicted first); pass an empty schedule to use a
+/// postorder computed internally. Throws std::invalid_argument on bad
+/// configs.
+[[nodiscard]] ParallelResult simulate_parallel(const core::Tree& tree,
+                                               const ParallelConfig& config,
+                                               const core::Schedule& reference = {});
+
+/// Critical-path length under the cost model: a makespan lower bound.
+[[nodiscard]] double critical_path(const core::Tree& tree, CostModel cost);
+
+/// Total work under the cost model: busy_time of any feasible run.
+[[nodiscard]] double total_work(const core::Tree& tree, CostModel cost);
+
+}  // namespace ooctree::parallel

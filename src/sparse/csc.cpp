@@ -1,0 +1,73 @@
+#include "src/sparse/csc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ooctree::sparse {
+
+SymPattern SymPattern::from_entries(Index n, std::vector<std::pair<Index, Index>> entries) {
+  if (n <= 0) throw std::invalid_argument("SymPattern: n must be positive");
+  // Symmetrize and drop the diagonal.
+  std::vector<std::pair<Index, Index>> edges;
+  edges.reserve(entries.size() * 2);
+  for (const auto& [i, j] : entries) {
+    if (i < 0 || i >= n || j < 0 || j >= n) throw std::invalid_argument("SymPattern: index range");
+    if (i == j) continue;
+    edges.emplace_back(i, j);
+    edges.emplace_back(j, i);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  SymPattern p;
+  p.n_ = n;
+  p.ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [j, i] : edges) (void)i, ++p.ptr_[static_cast<std::size_t>(j) + 1];
+  for (std::size_t k = 0; k < static_cast<std::size_t>(n); ++k) p.ptr_[k + 1] += p.ptr_[k];
+  p.row_.resize(edges.size());
+  std::vector<std::int64_t> cursor(p.ptr_.begin(), p.ptr_.end() - 1);
+  for (const auto& [j, i] : edges)
+    p.row_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] = i;
+  return p;
+}
+
+SymPattern SymPattern::permuted(const std::vector<Index>& perm) const {
+  if (perm.size() != static_cast<std::size_t>(n_))
+    throw std::invalid_argument("SymPattern::permuted: wrong permutation length");
+  std::vector<Index> inverse(perm.size(), -1);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    const Index old = perm[v];
+    if (old < 0 || old >= n_ || inverse[static_cast<std::size_t>(old)] != -1)
+      throw std::invalid_argument("SymPattern::permuted: not a permutation");
+    inverse[static_cast<std::size_t>(old)] = static_cast<Index>(v);
+  }
+  std::vector<std::pair<Index, Index>> entries;
+  entries.reserve(row_.size());
+  for (Index j = 0; j < n_; ++j)
+    for (const Index i : neighbors(j))
+      if (i < j)
+        entries.emplace_back(inverse[static_cast<std::size_t>(i)],
+                             inverse[static_cast<std::size_t>(j)]);
+  return from_entries(n_, std::move(entries));
+}
+
+bool SymPattern::connected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  std::vector<Index> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const Index v = stack.back();
+    stack.pop_back();
+    for (const Index u : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count == static_cast<std::size_t>(n_);
+}
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,53 @@
+// Symmetric sparse matrix *pattern* in compressed form.
+//
+// The TREES dataset pipeline only needs structure (no numerical values):
+// elimination trees and column counts are functions of the nonzero pattern
+// of a symmetric matrix. The pattern stores both triangles, excludes the
+// diagonal, and keeps every adjacency list sorted, which the ordering and
+// symbolic-analysis code relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ooctree::sparse {
+
+using Index = std::int32_t;
+
+/// Symmetric adjacency pattern of an n x n matrix (structural graph).
+class SymPattern {
+ public:
+  /// Builds from (i, j) entry pairs. Entries are symmetrized, deduplicated
+  /// and diagonal entries dropped; indices must lie in [0, n).
+  static SymPattern from_entries(Index n, std::vector<std::pair<Index, Index>> entries);
+
+  [[nodiscard]] Index size() const { return n_; }
+
+  /// Number of stored (off-diagonal, symmetric) entries: twice the number
+  /// of undirected edges.
+  [[nodiscard]] std::size_t nnz() const { return row_.size(); }
+
+  /// Sorted neighbors of column/vertex j.
+  [[nodiscard]] std::span<const Index> neighbors(Index j) const {
+    const auto b = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(j)]);
+    const auto e = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(j) + 1]);
+    return {row_.data() + b, e - b};
+  }
+
+  [[nodiscard]] std::size_t degree(Index j) const { return neighbors(j).size(); }
+
+  /// Applies a permutation: vertex v of the result is old vertex perm[v]
+  /// (perm maps new labels to old labels).
+  [[nodiscard]] SymPattern permuted(const std::vector<Index>& perm) const;
+
+  /// True when the structural graph is connected.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  Index n_ = 0;
+  std::vector<std::int64_t> ptr_;  // size n+1
+  std::vector<Index> row_;
+};
+
+}  // namespace ooctree::sparse

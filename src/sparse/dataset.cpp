@@ -1,0 +1,177 @@
+#include "src/sparse/dataset.hpp"
+
+#include <functional>
+
+#include "src/sparse/assembly_tree.hpp"
+#include "src/sparse/generators.hpp"
+#include "src/sparse/ordering.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ooctree::sparse {
+
+namespace {
+
+AssemblyOptions amalg(bool on) {
+  AssemblyOptions o;
+  o.amalgamate = on;
+  return o;
+}
+
+}  // namespace
+
+std::vector<TreeInstance> make_trees_dataset(const DatasetOptions& options) {
+  const int scale = options.scale;
+
+  // Stage the instance recipes first, then build them in parallel: the
+  // minimum-degree runs on the larger patterns dominate the cost.
+  struct Recipe {
+    std::string name;
+    std::function<core::Tree()> build;
+  };
+  std::vector<Recipe> recipes;
+  util::Rng rng(options.seed);
+
+  // --- 2D grids, nested dissection (the bread-and-butter PDE family). ---
+  {
+    const Index k_lo = 45;
+    const Index k_hi = scale >= 3 ? 200 : (scale == 2 ? 195 : (scale == 1 ? 115 : 55));
+    const Index step = scale >= 2 ? 10 : 20;
+    for (Index k = k_lo; k <= k_hi; k += step) {
+      recipes.push_back({"grid2d_" + std::to_string(k) + "_nd", [k] {
+                           const SymPattern g = grid2d(k, k);
+                           return assembly_tree_ordered(g, nested_dissection_2d(k, k),
+                                                        amalg(false));
+                         }});
+      recipes.push_back({"grid2d_" + std::to_string(k) + "_nd_amalg", [k] {
+                           const SymPattern g = grid2d(k, k);
+                           return assembly_tree_ordered(g, nested_dissection_2d(k, k),
+                                                        amalg(true));
+                         }});
+    }
+  }
+
+  // --- 2D rectangular grids (anisotropic domains). ---
+  if (scale >= 1) {
+    for (const Index k : {40, 60, 80, 100}) {
+      recipes.push_back(
+          {"grid2d_" + std::to_string(k) + "x" + std::to_string(2 * k) + "_nd", [k] {
+             const SymPattern g = grid2d(k, 2 * k);
+             return assembly_tree_ordered(g, nested_dissection_2d(k, 2 * k), amalg(true));
+           }});
+    }
+    for (const Index k : {50, 90, 130}) {
+      recipes.push_back({"grid2d9_" + std::to_string(k) + "_nd", [k] {
+                           const SymPattern g = grid2d_9pt(k, k);
+                           return assembly_tree_ordered(g, nested_dissection_2d(k, k),
+                                                        amalg(true));
+                         }});
+    }
+  }
+
+  // --- 2D grids, RCM (deep band-style trees). ---
+  {
+    const Index k_hi = scale >= 2 ? 140 : 60;
+    for (Index k = 45; k <= k_hi; k += 15) {
+      recipes.push_back({"grid2d_" + std::to_string(k) + "_rcm", [k] {
+                           const SymPattern g = grid2d(k, k);
+                           return assembly_tree_ordered(g, reverse_cuthill_mckee(g),
+                                                        amalg(true));
+                         }});
+    }
+  }
+
+  // --- 2D grids, minimum degree (bushy trees). ---
+  {
+    const Index k_hi = scale >= 2 ? 95 : 55;
+    for (Index k = 45; k <= k_hi; k += 10) {
+      recipes.push_back({"grid2d_" + std::to_string(k) + "_md", [k] {
+                           const SymPattern g = grid2d(k, k);
+                           return assembly_tree_ordered(g, minimum_degree(g), amalg(false));
+                         }});
+      if (scale >= 2) {
+        recipes.push_back({"grid2d_" + std::to_string(k) + "_md_amalg", [k] {
+                             const SymPattern g = grid2d(k, k);
+                             return assembly_tree_ordered(g, minimum_degree(g), amalg(true));
+                           }});
+      }
+    }
+  }
+
+  // --- 3D grids. ---
+  if (options.include_3d) {
+    const Index k_hi = scale >= 3 ? 33 : (scale == 2 ? 31 : (scale == 1 ? 21 : 13));
+    for (Index k = 13; k <= k_hi; k += 2) {
+      recipes.push_back({"grid3d_" + std::to_string(k) + "_nd", [k] {
+                           const SymPattern g = grid3d(k, k, k);
+                           return assembly_tree_ordered(g, nested_dissection_3d(k, k, k),
+                                                        amalg(false));
+                         }});
+    }
+    if (scale >= 2) {
+      for (const Index k : {13, 15}) {
+        recipes.push_back({"grid3d_" + std::to_string(k) + "_md", [k] {
+                             const SymPattern g = grid3d(k, k, k);
+                             return assembly_tree_ordered(g, minimum_degree(g), amalg(false));
+                           }});
+      }
+    }
+  }
+
+  // --- Bordered block-diagonal systems (domain decomposition style):
+  // several heavy independent branches joined late, the structure that
+  // separates the strategies most clearly on real collections. ---
+  if (scale >= 1) {
+    const std::vector<std::pair<int, Index>> shapes =
+        scale >= 2 ? std::vector<std::pair<int, Index>>{{4, 30}, {4, 40}, {4, 50}, {6, 30},
+                                                        {6, 40}, {6, 50}, {8, 30}, {8, 40},
+                                                        {8, 50}, {12, 30}, {12, 40}}
+                   : std::vector<std::pair<int, Index>>{{4, 30}, {8, 40}};
+    for (const auto& [blocks, grid] : shapes) {
+      const std::uint64_t seed = rng.engine()();
+      recipes.push_back(
+          {"bbd_" + std::to_string(blocks) + "x" + std::to_string(grid) + "_md",
+           [blocks = blocks, grid = grid, seed] {
+             util::Rng local(seed);
+             const SymPattern g = bordered_block_diagonal(blocks, grid, 20, 2, local);
+             return assembly_tree_ordered(g, minimum_degree(g), amalg(false));
+           }});
+    }
+  }
+
+  // --- Random SPD patterns under minimum degree (kept small: random
+  // graphs fill in catastrophically, which is the realistic stress case
+  // but also the expensive one). ---
+  if (options.include_random) {
+    const std::vector<Index> sizes = scale >= 2 ? std::vector<Index>{2000, 3000, 4000}
+                                                : std::vector<Index>{2000};
+    for (const Index n : sizes) {
+      for (const double deg : {3.0, 6.0}) {
+        const std::uint64_t seed = rng.engine()();
+        recipes.push_back(
+            {"rand_" + std::to_string(n) + "_d" + std::to_string(static_cast<int>(deg)) + "_md",
+             [n, deg, seed] {
+               util::Rng local(seed);
+               const SymPattern g = random_symmetric(n, deg, local);
+               return assembly_tree_ordered(g, minimum_degree(g), amalg(false));
+             }});
+        recipes.push_back(
+            {"rand_" + std::to_string(n) + "_d" + std::to_string(static_cast<int>(deg)) + "_rcm",
+             [n, deg, seed] {
+               util::Rng local(seed);
+               const SymPattern g = random_symmetric(n, deg, local);
+               return assembly_tree_ordered(g, reverse_cuthill_mckee(g), amalg(true));
+             }});
+      }
+    }
+  }
+
+  // Build all instances in parallel; the order of `out` follows recipes.
+  std::vector<TreeInstance> out;
+  out.reserve(recipes.size());
+  for (const auto& r : recipes) out.push_back({r.name, core::make_tree({{core::kNoNode, 1}})});
+  util::parallel_for(recipes.size(), [&](std::size_t i) { out[i].tree = recipes[i].build(); });
+  return out;
+}
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,34 @@
+// The TREES dataset: elimination/assembly trees standing in for the
+// paper's 329 University of Florida matrices (see DESIGN.md for the
+// substitution rationale). Instances mix 2D/3D grid Laplacians and random
+// SPD patterns under nested-dissection, minimum-degree, RCM and natural
+// orderings, spanning roughly the paper's 2k-40k node range before the
+// Peak > LB filter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::sparse {
+
+/// One dataset instance.
+struct TreeInstance {
+  std::string name;
+  core::Tree tree;
+};
+
+/// Controls dataset size so quick runs stay quick.
+struct DatasetOptions {
+  int scale = 2;              ///< 0 = tiny smoke set; higher = more/larger instances
+  bool include_3d = true;     ///< add 3D grid instances
+  bool include_random = true; ///< add random SPD instances
+  std::uint64_t seed = 20170208;  ///< paper submission date, for reproducibility
+};
+
+/// Builds the dataset. Instance counts: scale 0 ~ 8 trees, scale 1 ~ 40,
+/// scale 2 ~ 130 (matching the paper's post-filter count), scale 3 ~ 300.
+[[nodiscard]] std::vector<TreeInstance> make_trees_dataset(const DatasetOptions& options = {});
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,56 @@
+#include "src/sparse/etree.hpp"
+
+namespace ooctree::sparse {
+
+std::vector<Index> elimination_tree(const SymPattern& pattern) {
+  const auto n = static_cast<std::size_t>(pattern.size());
+  std::vector<Index> parent(n, -1);
+  std::vector<Index> ancestor(n, -1);  // path-compressed virtual forest
+  for (Index j = 0; j < pattern.size(); ++j) {
+    for (const Index i : pattern.neighbors(j)) {
+      if (i >= j) break;  // neighbors are sorted; only rows above j matter
+      // Walk i's compressed path; everything on it gets ancestor j.
+      Index r = i;
+      while (ancestor[static_cast<std::size_t>(r)] != -1 &&
+             ancestor[static_cast<std::size_t>(r)] != j) {
+        const Index next = ancestor[static_cast<std::size_t>(r)];
+        ancestor[static_cast<std::size_t>(r)] = j;
+        r = next;
+      }
+      if (ancestor[static_cast<std::size_t>(r)] == -1) {
+        ancestor[static_cast<std::size_t>(r)] = j;
+        parent[static_cast<std::size_t>(r)] = j;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<std::int64_t> column_counts(const SymPattern& pattern,
+                                        const std::vector<Index>& parent) {
+  const auto n = static_cast<std::size_t>(pattern.size());
+  std::vector<std::int64_t> counts(n, 1);  // diagonal entries
+  std::vector<Index> mark(n, -1);
+  for (Index i = 0; i < pattern.size(); ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (const Index k : pattern.neighbors(i)) {
+      if (k >= i) break;
+      // Row subtree walk: climb from k towards i, counting new vertices.
+      Index j = k;
+      while (j != -1 && mark[static_cast<std::size_t>(j)] != i) {
+        ++counts[static_cast<std::size_t>(j)];
+        mark[static_cast<std::size_t>(j)] = i;
+        j = parent[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return counts;
+}
+
+std::int64_t factor_nnz(const std::vector<std::int64_t>& counts) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,30 @@
+// Elimination tree and symbolic column counts (Liu's algorithms).
+//
+// For a symmetric matrix A (pattern only) the elimination tree has
+// parent(j) = min { i > j : L(i, j) != 0 } in the Cholesky factor L of A.
+// It is computed in near-linear time with path-compressed ancestor links.
+// Column counts |L(:, j)| follow from the row-subtree characterization:
+// row i of L is the union of the paths in the etree from each k < i with
+// A(i, k) != 0 up to i. Both are the classic building blocks of
+// multifrontal symbolic analysis.
+#pragma once
+
+#include <vector>
+
+#include "src/sparse/csc.hpp"
+
+namespace ooctree::sparse {
+
+/// parent[j] of the elimination tree; -1 for roots (the etree is a forest
+/// when the matrix is reducible).
+[[nodiscard]] std::vector<Index> elimination_tree(const SymPattern& pattern);
+
+/// Column counts of the Cholesky factor including the diagonal:
+/// counts[j] = |L(:, j)|. O(nnz(L)) time via row-subtree traversals.
+[[nodiscard]] std::vector<std::int64_t> column_counts(const SymPattern& pattern,
+                                                      const std::vector<Index>& parent);
+
+/// Total factor size sum_j counts[j] (a classic fill metric).
+[[nodiscard]] std::int64_t factor_nnz(const std::vector<std::int64_t>& counts);
+
+}  // namespace ooctree::sparse

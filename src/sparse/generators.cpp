@@ -1,0 +1,107 @@
+#include "src/sparse/generators.hpp"
+
+#include <stdexcept>
+
+namespace ooctree::sparse {
+
+namespace {
+void check_dims(std::int64_t total) {
+  if (total <= 0 || total > (std::int64_t{1} << 30))
+    throw std::invalid_argument("grid generator: dimension out of range");
+}
+}  // namespace
+
+SymPattern grid2d(Index nx, Index ny) {
+  check_dims(std::int64_t{nx} * ny);
+  std::vector<std::pair<Index, Index>> entries;
+  entries.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 2);
+  const auto id = [nx](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      if (x + 1 < nx) entries.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) entries.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return SymPattern::from_entries(nx * ny, std::move(entries));
+}
+
+SymPattern grid2d_9pt(Index nx, Index ny) {
+  check_dims(std::int64_t{nx} * ny);
+  std::vector<std::pair<Index, Index>> entries;
+  const auto id = [nx](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      if (x + 1 < nx) entries.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) entries.emplace_back(id(x, y), id(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny) entries.emplace_back(id(x, y), id(x + 1, y + 1));
+      if (x > 0 && y + 1 < ny) entries.emplace_back(id(x, y), id(x - 1, y + 1));
+    }
+  }
+  return SymPattern::from_entries(nx * ny, std::move(entries));
+}
+
+SymPattern grid3d(Index nx, Index ny, Index nz) {
+  check_dims(std::int64_t{nx} * ny * nz);
+  std::vector<std::pair<Index, Index>> entries;
+  const auto id = [nx, ny](Index x, Index y, Index z) { return (z * ny + y) * nx + x; };
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        if (x + 1 < nx) entries.emplace_back(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) entries.emplace_back(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) entries.emplace_back(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return SymPattern::from_entries(nx * ny * nz, std::move(entries));
+}
+
+SymPattern bordered_block_diagonal(int blocks, Index grid, Index border, int couplings,
+                                   util::Rng& rng) {
+  if (blocks <= 0 || grid <= 1 || border <= 0 || couplings < 0)
+    throw std::invalid_argument("bordered_block_diagonal: bad parameters");
+  std::vector<std::pair<Index, Index>> entries;
+  const Index block_size = grid * grid;
+  Index offset = 0;
+  std::vector<Index> block_offsets;
+  for (int b = 0; b < blocks; ++b) {
+    block_offsets.push_back(offset);
+    const SymPattern g = grid2d(grid, grid);
+    for (Index j = 0; j < g.size(); ++j)
+      for (const Index i : g.neighbors(j))
+        if (i < j) entries.emplace_back(offset + i, offset + j);
+    offset += block_size;
+  }
+  const Index border_start = offset;
+  for (Index x = 0; x + 1 < border; ++x)
+    entries.emplace_back(border_start + x, border_start + x + 1);
+  for (int b = 0; b < blocks; ++b) {
+    for (Index x = 0; x < border; ++x) {
+      for (int c = 0; c < couplings; ++c) {
+        const auto inside =
+            static_cast<Index>(rng.index(static_cast<std::size_t>(block_size)));
+        entries.emplace_back(block_offsets[static_cast<std::size_t>(b)] + inside,
+                             border_start + x);
+      }
+    }
+  }
+  return SymPattern::from_entries(offset + border, std::move(entries));
+}
+
+SymPattern random_symmetric(Index n, double avg_degree, util::Rng& rng) {
+  if (n <= 1) throw std::invalid_argument("random_symmetric: n must be > 1");
+  std::vector<std::pair<Index, Index>> entries;
+  // Spanning tree for connectivity (uniform attachment).
+  for (Index v = 1; v < n; ++v)
+    entries.emplace_back(v, static_cast<Index>(rng.index(static_cast<std::size_t>(v))));
+  // Extra edges up to the requested density.
+  const auto target = static_cast<std::int64_t>(avg_degree * n / 2.0);
+  for (std::int64_t e = n - 1; e < target; ++e) {
+    const auto a = static_cast<Index>(rng.index(static_cast<std::size_t>(n)));
+    const auto b = static_cast<Index>(rng.index(static_cast<std::size_t>(n)));
+    if (a != b) entries.emplace_back(a, b);
+  }
+  return SymPattern::from_entries(n, std::move(entries));
+}
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,38 @@
+// Synthetic symmetric sparse patterns.
+//
+// The paper evaluates on 329 elimination trees built from University of
+// Florida collection matrices. Offline, we substitute structurally similar
+// matrices: discretized PDE operators (2D five-point and 3D seven-point
+// grid Laplacians — the dominant family in the UF subset used by [3]) and
+// random symmetric patterns. The downstream experiments only consume the
+// elimination/assembly trees these produce.
+#pragma once
+
+#include "src/sparse/csc.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree::sparse {
+
+/// Five-point stencil on an nx-by-ny grid (2D Laplacian pattern).
+[[nodiscard]] SymPattern grid2d(Index nx, Index ny);
+
+/// Seven-point stencil on an nx-by-ny-by-nz grid (3D Laplacian pattern).
+[[nodiscard]] SymPattern grid3d(Index nx, Index ny, Index nz);
+
+/// Nine-point stencil on an nx-by-ny grid (2D with diagonal couplings).
+[[nodiscard]] SymPattern grid2d_9pt(Index nx, Index ny);
+
+/// Connected random symmetric pattern with roughly avg_degree neighbors
+/// per vertex: a random spanning tree plus uniform random edges.
+[[nodiscard]] SymPattern random_symmetric(Index n, double avg_degree, util::Rng& rng);
+
+/// Bordered block-diagonal pattern: `blocks` independent grid-by-grid 2D
+/// Laplacian blocks coupled through a chain border of `border` vertices
+/// (each border vertex touches `couplings` random vertices per block).
+/// Models domain-decomposed / arrowhead systems, whose elimination trees
+/// have several heavy branches joined late — the structure on which
+/// postorder traversals pay most.
+[[nodiscard]] SymPattern bordered_block_diagonal(int blocks, Index grid, Index border,
+                                                 int couplings, util::Rng& rng);
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) I/O for symmetric patterns.
+//
+// The TREES dataset was built by the paper's authors from University of
+// Florida collection matrices, which ship in this format. The reader
+// accepts coordinate-format files (pattern / real / integer / complex,
+// symmetric or general — general matrices are symmetrized structurally) so
+// real UF matrices can be dropped into the benchmark pipeline when
+// available; the writer makes the synthetic generators exportable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/sparse/csc.hpp"
+
+namespace ooctree::sparse {
+
+/// Parses a Matrix Market coordinate stream into a symmetric pattern.
+/// Rectangular matrices are rejected. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] SymPattern read_matrix_market(std::istream& in);
+
+/// Reads a .mtx file; throws std::runtime_error on failure.
+[[nodiscard]] SymPattern load_matrix_market(const std::string& path);
+
+/// Writes the pattern as "%%MatrixMarket matrix coordinate pattern
+/// symmetric" (lower triangle).
+void write_matrix_market(std::ostream& out, const SymPattern& pattern);
+
+/// Writes to a file; throws std::runtime_error on failure.
+void save_matrix_market(const std::string& path, const SymPattern& pattern);
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,261 @@
+#include "src/sparse/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ooctree::sparse {
+
+namespace {
+std::size_t uz(Index i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+std::vector<Index> natural_order(Index n) {
+  std::vector<Index> perm(uz(n));
+  for (Index i = 0; i < n; ++i) perm[uz(i)] = i;
+  return perm;
+}
+
+// ---------------------------------------------------------------------------
+// Reverse Cuthill-McKee
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// BFS from `start`; returns (levels, last vertex of the deepest level with
+/// smallest degree) — the classic pseudo-peripheral probe.
+std::pair<int, Index> bfs_depth(const SymPattern& p, Index start, std::vector<int>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::vector<Index> frontier{start};
+  level[uz(start)] = 0;
+  int depth = 0;
+  Index far = start;
+  while (!frontier.empty()) {
+    std::vector<Index> next;
+    for (const Index v : frontier) {
+      for (const Index u : p.neighbors(v)) {
+        if (level[uz(u)] == -1) {
+          level[uz(u)] = level[uz(v)] + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    if (!next.empty()) {
+      ++depth;
+      // Smallest-degree vertex of the new deepest level.
+      far = *std::min_element(next.begin(), next.end(), [&](Index a, Index b) {
+        return p.degree(a) < p.degree(b);
+      });
+    }
+    frontier = std::move(next);
+  }
+  return {depth, far};
+}
+
+}  // namespace
+
+std::vector<Index> reverse_cuthill_mckee(const SymPattern& pattern) {
+  const Index n = pattern.size();
+  std::vector<Index> order;
+  order.reserve(uz(n));
+  std::vector<bool> placed(uz(n), false);
+  std::vector<int> level(uz(n));
+
+  for (Index seed = 0; seed < n; ++seed) {
+    if (placed[uz(seed)]) continue;
+    // Pseudo-peripheral start within this connected component.
+    Index start = seed;
+    int depth = -1;
+    for (int iter = 0; iter < 8; ++iter) {
+      const auto [d, far] = bfs_depth(pattern, start, level);
+      if (d <= depth) break;
+      depth = d;
+      start = far;
+    }
+    // Cuthill-McKee BFS: visit neighbors by increasing degree.
+    std::queue<Index> queue;
+    queue.push(start);
+    placed[uz(start)] = true;
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      std::vector<Index> fresh;
+      for (const Index u : pattern.neighbors(v))
+        if (!placed[uz(u)]) {
+          placed[uz(u)] = true;
+          fresh.push_back(u);
+        }
+      std::sort(fresh.begin(), fresh.end(),
+                [&](Index a, Index b) { return pattern.degree(a) < pattern.degree(b); });
+      for (const Index u : fresh) queue.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Minimum degree (quotient graph with element absorption, exact degrees)
+// ---------------------------------------------------------------------------
+
+std::vector<Index> minimum_degree(const SymPattern& pattern) {
+  const Index n = pattern.size();
+  // Variable adjacency (variables only) and element lists per variable.
+  std::vector<std::vector<Index>> adj(uz(n));
+  std::vector<std::vector<Index>> elems(uz(n));   // element ids = eliminated vertex
+  std::vector<std::vector<Index>> evars(uz(n));   // element id -> its variables
+  std::vector<bool> eliminated(uz(n), false);
+  std::vector<bool> absorbed(uz(n), false);       // element absorbed into a newer one
+  std::vector<Index> marker(uz(n), -1);
+  std::vector<std::int64_t> degree(uz(n), 0);
+
+  for (Index v = 0; v < n; ++v) {
+    const auto nb = pattern.neighbors(v);
+    adj[uz(v)].assign(nb.begin(), nb.end());
+    degree[uz(v)] = static_cast<std::int64_t>(nb.size());
+  }
+
+  using Entry = std::pair<std::int64_t, Index>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (Index v = 0; v < n; ++v) heap.emplace(degree[uz(v)], v);
+
+  // Reachable set of a variable v (marker-deduplicated, excludes v and
+  // eliminated vertices): direct variable neighbors plus the variables of
+  // its elements.
+  std::vector<Index> reach_buffer;
+  const auto reach = [&](Index v, Index stamp) -> const std::vector<Index>& {
+    reach_buffer.clear();
+    marker[uz(v)] = stamp;
+    for (const Index u : adj[uz(v)]) {
+      if (!eliminated[uz(u)] && marker[uz(u)] != stamp) {
+        marker[uz(u)] = stamp;
+        reach_buffer.push_back(u);
+      }
+    }
+    for (const Index e : elems[uz(v)]) {
+      if (absorbed[uz(e)]) continue;
+      for (const Index u : evars[uz(e)]) {
+        if (!eliminated[uz(u)] && marker[uz(u)] != stamp) {
+          marker[uz(u)] = stamp;
+          reach_buffer.push_back(u);
+        }
+      }
+    }
+    return reach_buffer;
+  };
+
+  std::vector<Index> order;
+  order.reserve(uz(n));
+  Index stamp = n;  // marker stamps beyond vertex ids stay unique
+  while (order.size() < uz(n)) {
+    // Lazy heap: skip stale entries.
+    const auto [d, p] = heap.top();
+    heap.pop();
+    if (eliminated[uz(p)] || d != degree[uz(p)]) continue;
+
+    // Eliminate p: its reachable set becomes element p.
+    const std::vector<Index> vars = reach(p, stamp++);
+    eliminated[uz(p)] = true;
+    order.push_back(p);
+    evars[uz(p)] = vars;
+    for (const Index e : elems[uz(p)]) absorbed[uz(e)] = true;  // e subset of new element
+    elems[uz(p)].clear();
+    adj[uz(p)].clear();
+
+    for (const Index u : vars) {
+      // Drop absorbed elements and dead variable links; add element p.
+      auto& ue = elems[uz(u)];
+      ue.erase(std::remove_if(ue.begin(), ue.end(), [&](Index e) { return absorbed[uz(e)]; }),
+               ue.end());
+      ue.push_back(p);
+      auto& ua = adj[uz(u)];
+      ua.erase(std::remove_if(ua.begin(), ua.end(),
+                              [&](Index w) { return eliminated[uz(w)]; }),
+               ua.end());
+      // Exact exterior degree and heap refresh.
+      degree[uz(u)] = static_cast<std::int64_t>(reach(u, stamp++).size());
+      heap.emplace(degree[uz(u)], u);
+    }
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Geometric nested dissection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void nd2d_recurse(Index nx, Index x0, Index x1, Index y0, Index y1, Index leaf_size,
+                  std::vector<Index>& order) {
+  const Index w = x1 - x0;
+  const Index h = y1 - y0;
+  if (static_cast<std::int64_t>(w) * h <= leaf_size || (w <= 2 && h <= 2)) {
+    for (Index y = y0; y < y1; ++y)
+      for (Index x = x0; x < x1; ++x) order.push_back(y * nx + x);
+    return;
+  }
+  if (w >= h) {
+    const Index xs = x0 + w / 2;  // vertical separator column
+    nd2d_recurse(nx, x0, xs, y0, y1, leaf_size, order);
+    nd2d_recurse(nx, xs + 1, x1, y0, y1, leaf_size, order);
+    for (Index y = y0; y < y1; ++y) order.push_back(y * nx + xs);
+  } else {
+    const Index ys = y0 + h / 2;  // horizontal separator row
+    nd2d_recurse(nx, x0, x1, y0, ys, leaf_size, order);
+    nd2d_recurse(nx, x0, x1, ys + 1, y1, leaf_size, order);
+    for (Index x = x0; x < x1; ++x) order.push_back(ys * nx + x);
+  }
+}
+
+void nd3d_recurse(Index nx, Index ny, Index x0, Index x1, Index y0, Index y1, Index z0, Index z1,
+                  Index leaf_size, std::vector<Index>& order) {
+  const Index w = x1 - x0, h = y1 - y0, d = z1 - z0;
+  const auto id = [nx, ny](Index x, Index y, Index z) { return (z * ny + y) * nx + x; };
+  if (static_cast<std::int64_t>(w) * h * d <= leaf_size || (w <= 2 && h <= 2 && d <= 2)) {
+    for (Index z = z0; z < z1; ++z)
+      for (Index y = y0; y < y1; ++y)
+        for (Index x = x0; x < x1; ++x) order.push_back(id(x, y, z));
+    return;
+  }
+  if (w >= h && w >= d) {
+    const Index xs = x0 + w / 2;
+    nd3d_recurse(nx, ny, x0, xs, y0, y1, z0, z1, leaf_size, order);
+    nd3d_recurse(nx, ny, xs + 1, x1, y0, y1, z0, z1, leaf_size, order);
+    for (Index z = z0; z < z1; ++z)
+      for (Index y = y0; y < y1; ++y) order.push_back(id(xs, y, z));
+  } else if (h >= d) {
+    const Index ys = y0 + h / 2;
+    nd3d_recurse(nx, ny, x0, x1, y0, ys, z0, z1, leaf_size, order);
+    nd3d_recurse(nx, ny, x0, x1, ys + 1, y1, z0, z1, leaf_size, order);
+    for (Index z = z0; z < z1; ++z)
+      for (Index x = x0; x < x1; ++x) order.push_back(id(x, ys, z));
+  } else {
+    const Index zs = z0 + d / 2;
+    nd3d_recurse(nx, ny, x0, x1, y0, y1, z0, zs, leaf_size, order);
+    nd3d_recurse(nx, ny, x0, x1, y0, y1, zs + 1, z1, leaf_size, order);
+    for (Index y = y0; y < y1; ++y)
+      for (Index x = x0; x < x1; ++x) order.push_back(id(x, y, zs));
+  }
+}
+
+}  // namespace
+
+std::vector<Index> nested_dissection_2d(Index nx, Index ny, Index leaf_size) {
+  if (nx <= 0 || ny <= 0) throw std::invalid_argument("nested_dissection_2d: bad dims");
+  std::vector<Index> order;
+  order.reserve(uz(nx) * uz(ny));
+  nd2d_recurse(nx, 0, nx, 0, ny, leaf_size, order);
+  return order;
+}
+
+std::vector<Index> nested_dissection_3d(Index nx, Index ny, Index nz, Index leaf_size) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) throw std::invalid_argument("nested_dissection_3d: bad dims");
+  std::vector<Index> order;
+  order.reserve(uz(nx) * uz(ny) * uz(nz));
+  nd3d_recurse(nx, ny, 0, nx, 0, ny, 0, nz, leaf_size, order);
+  return order;
+}
+
+}  // namespace ooctree::sparse

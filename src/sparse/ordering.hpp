@@ -1,0 +1,39 @@
+// Fill-reducing orderings for symmetric patterns.
+//
+// Each function returns a permutation `perm` with perm[new] = old, meant to
+// be applied via SymPattern::permuted. Three classic families:
+//   * reverse Cuthill-McKee: bandwidth reduction, produces deep, skinny
+//     elimination trees;
+//   * minimum degree (exact exterior degree on the elimination graph, with
+//     element absorption): the classical fill heuristic, bushy trees;
+//   * nested dissection for structured grids (geometric separators):
+//     balanced trees, the standard choice for large PDE problems.
+#pragma once
+
+#include <vector>
+
+#include "src/sparse/csc.hpp"
+
+namespace ooctree::sparse {
+
+/// Reverse Cuthill-McKee starting from a pseudo-peripheral vertex.
+[[nodiscard]] std::vector<Index> reverse_cuthill_mckee(const SymPattern& pattern);
+
+/// Exact minimum (exterior) degree with quotient-graph element absorption.
+/// Intended for patterns up to a few tens of thousands of vertices.
+[[nodiscard]] std::vector<Index> minimum_degree(const SymPattern& pattern);
+
+/// Geometric nested dissection for an nx-by-ny 5- or 9-point grid: middle
+/// separators, recursing until blocks of <= leaf_size vertices, which are
+/// ordered locally. Returns a permutation for the grid's natural numbering
+/// (vertex y*nx + x).
+[[nodiscard]] std::vector<Index> nested_dissection_2d(Index nx, Index ny, Index leaf_size = 8);
+
+/// Geometric nested dissection for an nx-by-ny-by-nz 7-point grid.
+[[nodiscard]] std::vector<Index> nested_dissection_3d(Index nx, Index ny, Index nz,
+                                                      Index leaf_size = 8);
+
+/// The identity (natural) ordering.
+[[nodiscard]] std::vector<Index> natural_order(Index n);
+
+}  // namespace ooctree::sparse

@@ -1,0 +1,77 @@
+#include "src/treegen/catalan.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ooctree::treegen {
+
+namespace {
+
+constexpr std::size_t kMaxCatalan = 65;
+
+const std::vector<u128>& catalan_table() {
+  static const std::vector<u128> table = [] {
+    std::vector<u128> t(kMaxCatalan + 1);
+    t[0] = 1;
+    // C_{k+1} = C_k * 2(2k+1) / (k+2): exact at every step.
+    for (std::size_t k = 0; k < kMaxCatalan; ++k)
+      t[k + 1] = t[k] * 2 * (2 * k + 1) / (k + 2);
+    return t;
+  }();
+  return table;
+}
+
+/// Recursive builder: emits the rank-th tree shape with `n` nodes rooted at
+/// the next free id, appending (parent, weight=1) rows. Returns the root id.
+core::NodeId build(std::size_t n, u128 rank, std::vector<core::NodeId>& parent) {
+  // Split: left subtree of size i, right subtree of size n-1-i, ordered by
+  // increasing i, then by left rank, then right rank.
+  const auto root = static_cast<core::NodeId>(parent.size());
+  parent.push_back(core::kNoNode);  // parent fixed by caller afterwards
+  if (n == 1) return root;
+  const auto& cat = catalan_table();
+  std::size_t left = 0;
+  for (;; ++left) {
+    const u128 block = cat[left] * cat[n - 1 - left];
+    if (rank < block) break;
+    rank -= block;
+  }
+  const u128 right_count = cat[n - 1 - left];
+  const u128 left_rank = rank / right_count;
+  const u128 right_rank = rank % right_count;
+  if (left > 0) {
+    const core::NodeId l = build(left, left_rank, parent);
+    parent[static_cast<std::size_t>(l)] = root;
+  }
+  if (n - 1 - left > 0) {
+    const core::NodeId r = build(n - 1 - left, right_rank, parent);
+    parent[static_cast<std::size_t>(r)] = root;
+  }
+  return root;
+}
+
+}  // namespace
+
+u128 catalan_number(std::size_t n) {
+  if (n > kMaxCatalan) throw std::invalid_argument("catalan_number: n too large for 128 bits");
+  return catalan_table()[n];
+}
+
+core::Tree unrank_binary_tree(std::size_t n, u128 rank) {
+  if (n == 0) throw std::invalid_argument("unrank_binary_tree: n must be positive");
+  if (rank >= catalan_number(n)) throw std::invalid_argument("unrank_binary_tree: rank too large");
+  std::vector<core::NodeId> parent;
+  parent.reserve(n);
+  build(n, rank, parent);
+  return core::Tree::from_parents(std::move(parent), std::vector<core::Weight>(n, 1));
+}
+
+core::Tree uniform_binary_tree_exact(std::size_t n, util::Rng& rng) {
+  const u128 total = catalan_number(n);
+  // Rejection-free 128-bit uniform draw from two 64-bit halves.
+  u128 r = (u128(rng.engine()()) << 64) | rng.engine()();
+  r %= total;  // counts are tiny next to 2^128 for the n used in tests
+  return unrank_binary_tree(n, r);
+}
+
+}  // namespace ooctree::treegen

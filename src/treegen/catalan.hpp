@@ -1,0 +1,33 @@
+// Catalan counting and exact unranking of small binary trees.
+//
+// Binary trees with n nodes (every node has 0, 1 or 2 ordered children) are
+// counted by the Catalan number C_n. For tests we need (a) the counts, (b)
+// a bijection rank <-> tree so property suites can sweep *all* binary trees
+// of a given size, and (c) exact uniform sampling for cross-checking the
+// O(n) Rémy generator. Counts are carried in unsigned __int128, good up to
+// n = 65 (far beyond what exhaustive tests enumerate).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree::treegen {
+
+__extension__ typedef unsigned __int128 u128;  // NOLINT: 128-bit counts
+
+/// C_n for n >= 0; throws std::invalid_argument beyond n = 65 (overflow).
+[[nodiscard]] u128 catalan_number(std::size_t n);
+
+/// The `rank`-th binary tree with n nodes (0 <= rank < C_n), in a fixed
+/// canonical order: trees are ordered by the size of the root's left
+/// subtree, then recursively. All node weights are 1. Throws
+/// std::invalid_argument on an out-of-range rank.
+[[nodiscard]] core::Tree unrank_binary_tree(std::size_t n, u128 rank);
+
+/// Exactly uniform binary tree with n nodes via unranking; O(n^2), intended
+/// for n up to ~60.
+[[nodiscard]] core::Tree uniform_binary_tree_exact(std::size_t n, util::Rng& rng);
+
+}  // namespace ooctree::treegen

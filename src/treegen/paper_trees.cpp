@@ -1,0 +1,147 @@
+#include "src/treegen/paper_trees.hpp"
+
+#include <stdexcept>
+
+namespace ooctree::treegen {
+
+using core::kNoNode;
+using core::NodeId;
+using core::Tree;
+using core::Weight;
+
+PaperInstance fig2a(std::size_t levels, Weight memory) {
+  if (levels < 2) throw std::invalid_argument("fig2a: levels must be >= 2");
+  if (memory < 4 || memory % 2 != 0) throw std::invalid_argument("fig2a: memory must be even, >= 4");
+  const Weight m = memory;
+
+  std::vector<NodeId> parent;
+  std::vector<Weight> weight;
+  std::vector<NodeId> schedule;  // the 1-I/O traversal of the figure
+  const auto add = [&](NodeId p, Weight w) {
+    parent.push_back(p);
+    weight.push_back(w);
+    return static_cast<NodeId>(parent.size() - 1);
+  };
+
+  // Base block (the figure's sigma 1..7). Parents are fixed afterwards for
+  // nodes created before their parent, so create top-down per chain:
+  // u1 (w=1) has children c6 (M/2 over the left leaf chain) and c5 (M/2
+  // over the right leaf chain); each M/2 node tops a chain  1 -> M.
+  const NodeId u1 = add(kNoNode, 1);
+  const NodeId c6 = add(u1, m / 2);
+  const NodeId n2 = add(c6, 1);
+  const NodeId n1 = add(n2, m);
+  const NodeId c5 = add(u1, m / 2);
+  const NodeId n4 = add(c5, 1);
+  const NodeId n3 = add(n4, m);
+  schedule.insert(schedule.end(), {n1, n2, n3, n4, c5, c6, u1});
+
+  // Levels 2..L: u_j (w=1; w for the top level the root) with children
+  //   c (M/2) -> u_{j-1}   and   b (M/2) -> leaf (M-1).
+  NodeId below = u1;
+  for (std::size_t j = 2; j <= levels; ++j) {
+    const NodeId uj = add(kNoNode, 1);
+    const NodeId leaf = add(kNoNode, m - 1);
+    const NodeId b = add(uj, m / 2);
+    const NodeId c = add(uj, m / 2);
+    parent[static_cast<std::size_t>(leaf)] = b;
+    parent[static_cast<std::size_t>(below)] = c;  // the spine M/2 node carries the level below
+    schedule.insert(schedule.end(), {leaf, b, c, uj});
+    below = uj;
+  }
+
+  PaperInstance out{Tree::from_parents(std::move(parent), std::move(weight)), memory,
+                    std::move(schedule)};
+  return out;
+}
+
+PaperInstance fig2b() {
+  // Node ids: 0 root (w1); left chain 1..4 (w 3,5,2,6 top-down);
+  // right chain 5..8 (w 3,5,2,6 top-down). M = 6.
+  const Tree tree = core::make_tree({
+      {kNoNode, 1},  // 0 root
+      {0, 3},        // 1
+      {1, 5},        // 2
+      {2, 2},        // 3
+      {3, 6},        // 4 (left leaf)
+      {0, 3},        // 5
+      {5, 5},        // 6
+      {6, 2},        // 7
+      {7, 6},        // 8 (right leaf)
+  });
+  // The figure's OPTMINMEM order (peak 8, 4 I/Os under FiF).
+  const core::Schedule annotated{8, 7, 4, 3, 2, 1, 6, 5, 0};
+  return PaperInstance{tree, 6, annotated};
+}
+
+PaperInstance fig2c(Weight k) {
+  if (k < 1) throw std::invalid_argument("fig2c: k must be >= 1");
+  // Chain weights root -> leaf: 2k, 3k, 2k-1, 3k+1, ..., k, 4k
+  // (interleaving {2k..k} and {3k..4k}); two identical chains under the
+  // root; M = 4k.
+  std::vector<Weight> chain;
+  for (Weight i = 0; i <= k; ++i) {
+    chain.push_back(2 * k - i);
+    chain.push_back(3 * k + i);
+  }
+
+  std::vector<NodeId> parent{kNoNode};
+  std::vector<Weight> weight{1};  // root
+  std::vector<NodeId> right, left;
+  for (int side = 0; side < 2; ++side) {
+    NodeId up = 0;
+    std::vector<NodeId>& chain_ids = (side == 0) ? right : left;
+    for (const Weight w : chain) {
+      parent.push_back(up);
+      weight.push_back(w);
+      up = static_cast<NodeId>(parent.size() - 1);
+      chain_ids.push_back(up);
+    }
+  }
+
+  // Annotated: chain-by-chain from the leaves (the 2k-I/O traversal).
+  core::Schedule annotated;
+  for (auto it = right.rbegin(); it != right.rend(); ++it) annotated.push_back(*it);
+  for (auto it = left.rbegin(); it != left.rend(); ++it) annotated.push_back(*it);
+  annotated.push_back(0);
+
+  return PaperInstance{Tree::from_parents(std::move(parent), std::move(weight)), 4 * k,
+                       std::move(annotated)};
+}
+
+PaperInstance fig6() {
+  // 0 root(1); left chain 1(4) -> 2(8) -> 3(2, "a") -> 4(9 leaf);
+  // right chain 5(6) -> 6(4, "b") -> 7(10 leaf). M = 10.
+  const Tree tree = core::make_tree({
+      {kNoNode, 1},  // 0
+      {0, 4},        // 1
+      {1, 8},        // 2
+      {2, 2},        // 3 = a
+      {3, 9},        // 4
+      {0, 6},        // 5
+      {5, 4},        // 6 = b
+      {6, 10},       // 7
+  });
+  // OPTMINMEM of the figure: left branch to a, right branch to b, finish.
+  const core::Schedule annotated{4, 3, 7, 6, 2, 1, 5, 0};
+  return PaperInstance{tree, 10, annotated};
+}
+
+PaperInstance fig7() {
+  // 0 root(1); 1 = c(3): children 2 = a(2) -> 3(7 leaf) and 4(3 leaf);
+  // 5 = b(4) -> 6(7 leaf). M = 7.
+  const Tree tree = core::make_tree({
+      {kNoNode, 1},  // 0
+      {0, 3},        // 1 = c
+      {1, 2},        // 2 = a
+      {2, 7},        // 3
+      {1, 3},        // 4
+      {0, 4},        // 5 = b
+      {5, 7},        // 6
+  });
+  // The postorder (left subtree first) that achieves the optimal 3 I/Os.
+  const core::Schedule annotated{3, 2, 4, 1, 6, 5, 0};
+  return PaperInstance{tree, 7, annotated};
+}
+
+}  // namespace ooctree::treegen

@@ -1,0 +1,44 @@
+// The paper's explicit example trees (Figures 2, 6 and 7), with the
+// schedules the paper annotates, so the counterexample claims of Sections
+// 4.3, 4.4 and Appendix A can be tested and benchmarked verbatim.
+#pragma once
+
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+
+namespace ooctree::treegen {
+
+/// A paper tree together with the paper's annotated schedule (when the
+/// figure gives one) and the memory bound of the example.
+struct PaperInstance {
+  core::Tree tree;
+  core::Weight memory = 0;
+  core::Schedule annotated_schedule;  ///< empty when the figure shows none
+};
+
+/// Figure 2(a): the family showing POSTORDERMINIO performs Omega(n*M) I/Os
+/// while the optimal traversal needs a single one. `levels` >= 2 controls
+/// the height (the paper draws levels = 3, a 15-node tree); `memory` must
+/// be even and >= 4. The annotated schedule is the 1-I/O traversal.
+[[nodiscard]] PaperInstance fig2a(std::size_t levels, core::Weight memory);
+
+/// Figure 2(b): 9-node two-chain tree, M = 6. OptMinMem reaches peak 8 at
+/// the cost of 4 I/Os where a peak-9 chain-by-chain traversal needs only 3.
+/// The annotated schedule is the OPTMINMEM order of the figure.
+[[nodiscard]] PaperInstance fig2b();
+
+/// Figure 2(c): two interleaved-weight chains of length 2k+2, M = 4k.
+/// OptMinMem reaches peak 5k at the cost of k(k+1) I/Os; processing one
+/// chain after the other costs 2k I/Os (peak 6k). The annotated schedule
+/// is the chain-by-chain (I/O-optimal) order.
+[[nodiscard]] PaperInstance fig2c(core::Weight k);
+
+/// Figure 6 (Appendix A): 9-node tree, M = 10, where FULLRECEXPAND is
+/// optimal (3 I/Os) but OPTMINMEM needs 4 and POSTORDERMINIO more.
+[[nodiscard]] PaperInstance fig6();
+
+/// Figure 7 (Appendix A): 7-node tree, M = 7, where POSTORDERMINIO is
+/// optimal (3 I/Os) but OPTMINMEM and FULLRECEXPAND need 4.
+[[nodiscard]] PaperInstance fig7();
+
+}  // namespace ooctree::treegen

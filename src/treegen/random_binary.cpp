@@ -1,0 +1,100 @@
+#include "src/treegen/random_binary.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "src/treegen/weights.hpp"
+
+namespace ooctree::treegen {
+
+namespace {
+
+/// Full binary tree under construction for Rémy's algorithm.
+struct FullTree {
+  // child[v][0..1] = kNoNode for leaves; parent[v]; root id.
+  std::vector<std::array<core::NodeId, 2>> child;
+  std::vector<core::NodeId> parent;
+  core::NodeId root = 0;
+};
+
+}  // namespace
+
+core::Tree remy_binary_tree(std::size_t internal, util::Rng& rng) {
+  if (internal == 0) throw std::invalid_argument("remy_binary_tree: need at least one node");
+
+  // Rémy's algorithm: grow a uniform full binary tree with k internal nodes
+  // by repeatedly picking a uniform (node, side) pair: the picked node is
+  // pushed down under a fresh internal node whose other side gets a fresh
+  // leaf. Node count: 2k+1.
+  FullTree t;
+  const std::size_t total = 2 * internal + 1;
+  t.child.reserve(total);
+  t.parent.reserve(total);
+  t.child.push_back({core::kNoNode, core::kNoNode});  // initial single leaf
+  t.parent.push_back(core::kNoNode);
+  t.root = 0;
+
+  for (std::size_t k = 1; k <= internal - 0; ++k) {
+    if (t.child.size() >= total) break;
+    const std::size_t nodes = t.child.size();
+    const std::size_t pick = rng.index(2 * nodes);
+    const auto target = static_cast<core::NodeId>(pick / 2);
+    const std::size_t side = pick % 2;
+
+    const auto fresh_internal = static_cast<core::NodeId>(t.child.size());
+    t.child.push_back({core::kNoNode, core::kNoNode});
+    t.parent.push_back(core::kNoNode);
+    const auto fresh_leaf = static_cast<core::NodeId>(t.child.size());
+    t.child.push_back({core::kNoNode, core::kNoNode});
+    t.parent.push_back(core::kNoNode);
+
+    const core::NodeId up = t.parent[static_cast<std::size_t>(target)];
+    t.child[static_cast<std::size_t>(fresh_internal)][side] = target;
+    t.child[static_cast<std::size_t>(fresh_internal)][1 - side] = fresh_leaf;
+    t.parent[static_cast<std::size_t>(target)] = fresh_internal;
+    t.parent[static_cast<std::size_t>(fresh_leaf)] = fresh_internal;
+    t.parent[static_cast<std::size_t>(fresh_internal)] = up;
+    if (up == core::kNoNode) {
+      t.root = fresh_internal;
+    } else {
+      auto& up_child = t.child[static_cast<std::size_t>(up)];
+      if (up_child[0] == target) up_child[0] = fresh_internal;
+      else up_child[1] = fresh_internal;
+    }
+  }
+
+  // Emit the full tree (weights 1).
+  std::vector<core::NodeId> parent(t.parent.begin(), t.parent.end());
+  return core::Tree::from_parents(std::move(parent),
+                                  std::vector<core::Weight>(t.child.size(), 1));
+}
+
+core::Tree uniform_binary_tree(std::size_t n, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("uniform_binary_tree: n must be positive");
+  // The internal nodes of a uniform full binary tree with n internal nodes
+  // form a uniform (ordered) binary tree with n nodes: stripping the leaves
+  // is a bijection between the two families.
+  const core::Tree full = remy_binary_tree(n, rng);
+  std::vector<core::NodeId> keep;  // internal nodes of `full`
+  std::vector<core::NodeId> new_id(full.size(), core::kNoNode);
+  for (std::size_t v = 0; v < full.size(); ++v) {
+    if (!full.is_leaf(static_cast<core::NodeId>(v))) {
+      new_id[v] = static_cast<core::NodeId>(keep.size());
+      keep.push_back(static_cast<core::NodeId>(v));
+    }
+  }
+  std::vector<core::NodeId> parent(keep.size(), core::kNoNode);
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const core::NodeId p = full.parent(keep[k]);
+    // In a full binary tree every ancestor of an internal node is internal.
+    if (p != core::kNoNode) parent[k] = new_id[static_cast<std::size_t>(p)];
+  }
+  return core::Tree::from_parents(std::move(parent), std::vector<core::Weight>(keep.size(), 1));
+}
+
+core::Tree synth_instance(std::size_t n, core::Weight w_lo, core::Weight w_hi, util::Rng& rng) {
+  const core::Tree shape = uniform_binary_tree(n, rng);
+  return with_uniform_weights(shape, w_lo, w_hi, rng);
+}
+
+}  // namespace ooctree::treegen

@@ -1,0 +1,77 @@
+#include "src/treegen/shapes.hpp"
+
+#include <stdexcept>
+
+namespace ooctree::treegen {
+
+using core::kNoNode;
+using core::NodeId;
+using core::Tree;
+using core::Weight;
+
+Tree chain_tree(const std::vector<Weight>& root_to_leaf) {
+  if (root_to_leaf.empty()) throw std::invalid_argument("chain_tree: empty");
+  std::vector<NodeId> parent(root_to_leaf.size(), kNoNode);
+  for (std::size_t i = 1; i < root_to_leaf.size(); ++i) parent[i] = static_cast<NodeId>(i - 1);
+  return Tree::from_parents(std::move(parent), std::vector<Weight>(root_to_leaf));
+}
+
+Tree star_tree(std::size_t leaves, Weight w_leaf, Weight w_root) {
+  std::vector<NodeId> parent(leaves + 1, 0);
+  parent[0] = kNoNode;
+  std::vector<Weight> weight(leaves + 1, w_leaf);
+  weight[0] = w_root;
+  return Tree::from_parents(std::move(parent), std::move(weight));
+}
+
+Tree complete_kary_tree(std::size_t arity, std::size_t depth, Weight w) {
+  if (arity == 0 || depth == 0) throw std::invalid_argument("complete_kary_tree: bad parameters");
+  std::vector<NodeId> parent{kNoNode};
+  std::size_t level_begin = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 1; d < depth; ++d) {
+    const std::size_t next_begin = parent.size();
+    for (std::size_t p = level_begin; p < level_begin + level_size; ++p)
+      for (std::size_t c = 0; c < arity; ++c) parent.push_back(static_cast<NodeId>(p));
+    level_begin = next_begin;
+    level_size *= arity;
+  }
+  const std::size_t n = parent.size();
+  return Tree::from_parents(std::move(parent), std::vector<Weight>(n, w));
+}
+
+Tree caterpillar_tree(std::size_t spine, std::size_t legs, Weight w) {
+  if (spine == 0) throw std::invalid_argument("caterpillar_tree: empty spine");
+  std::vector<NodeId> parent;
+  // Spine first (node s-1 is the root end), then legs.
+  parent.push_back(kNoNode);
+  for (std::size_t s = 1; s < spine; ++s) parent.push_back(static_cast<NodeId>(s - 1));
+  for (std::size_t s = 0; s < spine; ++s)
+    for (std::size_t l = 0; l < legs; ++l) parent.push_back(static_cast<NodeId>(s));
+  const std::size_t n = parent.size();
+  return Tree::from_parents(std::move(parent), std::vector<Weight>(n, w));
+}
+
+Tree spider_tree(std::size_t legs, std::size_t leg_len, Weight w) {
+  if (legs == 0 || leg_len == 0) throw std::invalid_argument("spider_tree: bad parameters");
+  std::vector<NodeId> parent{kNoNode};
+  for (std::size_t l = 0; l < legs; ++l) {
+    NodeId up = 0;  // attach each chain to the root
+    for (std::size_t k = 0; k < leg_len; ++k) {
+      parent.push_back(up);
+      up = static_cast<NodeId>(parent.size() - 1);
+    }
+  }
+  const std::size_t n = parent.size();
+  return Tree::from_parents(std::move(parent), std::vector<Weight>(n, w));
+}
+
+Tree random_recursive_tree(std::size_t n, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random_recursive_tree: n must be positive");
+  std::vector<NodeId> parent(n, kNoNode);
+  for (std::size_t i = 1; i < n; ++i)
+    parent[i] = static_cast<NodeId>(rng.index(i));
+  return Tree::from_parents(std::move(parent), std::vector<Weight>(n, 1));
+}
+
+}  // namespace ooctree::treegen

@@ -1,0 +1,33 @@
+// Deterministic tree shapes used throughout tests and benches.
+#pragma once
+
+#include <vector>
+
+#include "src/core/tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree::treegen {
+
+/// A chain; weights are listed from the root down to the leaf.
+[[nodiscard]] core::Tree chain_tree(const std::vector<core::Weight>& root_to_leaf);
+
+/// A root with `leaves` leaf children; leaf weight w_leaf, root weight w_root.
+[[nodiscard]] core::Tree star_tree(std::size_t leaves, core::Weight w_leaf, core::Weight w_root);
+
+/// Complete k-ary tree of the given depth (depth 1 = single node), all
+/// weights w.
+[[nodiscard]] core::Tree complete_kary_tree(std::size_t arity, std::size_t depth, core::Weight w);
+
+/// Caterpillar: a spine of `spine` nodes, each carrying `legs` leaf
+/// children; all weights w.
+[[nodiscard]] core::Tree caterpillar_tree(std::size_t spine, std::size_t legs, core::Weight w);
+
+/// Spider: `legs` chains of length `leg_len` meeting at the root; all
+/// weights w.
+[[nodiscard]] core::Tree spider_tree(std::size_t legs, std::size_t leg_len, core::Weight w);
+
+/// Uniform random recursive tree: node i attaches to a uniform node < i.
+/// Unbounded degree; weights all 1 (assign with weights.hpp helpers).
+[[nodiscard]] core::Tree random_recursive_tree(std::size_t n, util::Rng& rng);
+
+}  // namespace ooctree::treegen

@@ -1,0 +1,53 @@
+#include "src/util/args.hpp"
+
+#include <stdexcept>
+
+namespace ooctree::util {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args out;
+  if (argc > 0) out.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const auto eq = tok.find('=');
+      if (eq != std::string::npos) {
+        out.options_[tok.substr(2, eq - 2)] = tok.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        out.options_[tok.substr(2)] = argv[++i];
+      } else {
+        out.options_[tok.substr(2)] = "";  // boolean flag
+      }
+    } else {
+      out.positional_.push_back(tok);
+    }
+  }
+  return out;
+}
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("option --" + name + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("option --" + name + " expects a number, got '" + it->second + "'");
+  }
+}
+
+}  // namespace ooctree::util

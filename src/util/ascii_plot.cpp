@@ -1,0 +1,85 @@
+#include "src/util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ooctree::util {
+
+namespace {
+
+double max_x(const std::vector<Series>& series, double fallback) {
+  double best = fallback;
+  for (const auto& s : series)
+    for (const double v : s.x) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opts) {
+  const int w = std::max(16, opts.width);
+  const int h = std::max(6, opts.height);
+  const double x_lo = opts.x_min;
+  const double x_hi = std::max(max_x(series, x_lo + 1.0), x_lo + 1e-9);
+  const double y_lo = opts.y_min;
+  const double y_hi = std::max(opts.y_max, y_lo + 1e-9);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  const auto col = [&](double x) {
+    const double t = (x - x_lo) / (x_hi - x_lo);
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  const auto row = [&](double y) {
+    const double t = (y - y_lo) / (y_hi - y_lo);
+    return std::clamp(h - 1 - static_cast<int>(std::lround(t * (h - 1))), 0, h - 1);
+  };
+
+  char glyph = 'A';
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      // Draw the step polyline segment between consecutive points.
+      const int c0 = col(s.x[i]), c1 = col(s.x[i + 1]);
+      const int r0 = row(s.y[i]), r1 = row(s.y[i + 1]);
+      const int steps = std::max({std::abs(c1 - c0), std::abs(r1 - r0), 1});
+      for (int t = 0; t <= steps; ++t) {
+        const int c = c0 + (c1 - c0) * t / steps;
+        const int r = r0 + (r1 - r0) * t / steps;
+        canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = glyph;
+      }
+    }
+    if (s.x.size() == 1) {
+      canvas[static_cast<std::size_t>(row(s.y[0]))][static_cast<std::size_t>(col(s.x[0]))] = glyph;
+    }
+    ++glyph;
+  }
+
+  std::ostringstream out;
+  if (!opts.y_label.empty()) out << opts.y_label << '\n';
+  for (int r = 0; r < h; ++r) {
+    const double y = y_hi - (y_hi - y_lo) * r / (h - 1);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%6.2f |", y);
+    out << buf << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << "       +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  char lo_buf[32], hi_buf[32];
+  std::snprintf(lo_buf, sizeof lo_buf, "%.3g", x_lo);
+  std::snprintf(hi_buf, sizeof hi_buf, "%.3g", x_hi);
+  std::string axis = "        " + std::string(lo_buf);
+  const std::string hi_s(hi_buf);
+  const std::size_t pad_to = static_cast<std::size_t>(w) + 8 - hi_s.size();
+  if (axis.size() < pad_to) axis += std::string(pad_to - axis.size(), ' ');
+  axis += hi_s;
+  out << axis << '\n';
+  if (!opts.x_label.empty()) out << "        " << opts.x_label << '\n';
+
+  glyph = 'A';
+  for (const auto& s : series) {
+    out << "        [" << glyph << "] " << s.name << '\n';
+    ++glyph;
+  }
+  return out.str();
+}
+
+}  // namespace ooctree::util

@@ -1,0 +1,33 @@
+// ASCII rendering of x/y series, used to print performance profiles in the
+// terminal so the paper's figures can be eyeballed without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ooctree::util {
+
+/// One plotted series: a polyline of (x, y) points plus a display name.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling the character canvas.
+struct PlotOptions {
+  int width = 72;        ///< columns of the plotting area
+  int height = 20;       ///< rows of the plotting area
+  std::string x_label;   ///< printed under the x axis
+  std::string y_label;   ///< printed above the plot
+  double x_min = 0.0;    ///< left edge (x_max derived from data)
+  double y_min = 0.0;    ///< bottom edge
+  double y_max = 1.0;    ///< top edge (performance profiles live in [0,1])
+};
+
+/// Renders the series onto a character canvas. Each series is drawn with its
+/// own glyph ('A', 'B', ...) and a legend is appended. Steps between points
+/// are linearly interpolated; points outside the window are clamped.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series, const PlotOptions& opts);
+
+}  // namespace ooctree::util

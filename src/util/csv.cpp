@@ -1,0 +1,55 @@
+#include "src/util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ooctree::util {
+
+CsvCell::CsvCell(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  text_ = os.str();
+}
+
+std::string CsvCell::quote(std::string_view s) {
+  const bool needs_quote = s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::initializer_list<std::string_view> header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  std::vector<std::string> cells;
+  cells.reserve(header.size());
+  for (const auto h : header) cells.emplace_back(h);
+  write_row(cells);
+}
+
+void CsvWriter::row(std::initializer_list<CsvCell> cells) {
+  std::vector<std::string> texts;
+  texts.reserve(cells.size());
+  for (const auto& c : cells) texts.push_back(c.text());
+  write_row(texts);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace ooctree::util

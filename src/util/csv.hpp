@@ -1,0 +1,57 @@
+// Tiny CSV writer used by the benchmark harnesses to dump experiment series.
+//
+// The writer is deliberately minimal: fixed header, row-by-row append,
+// RFC-4180 quoting of string fields. Benchmarks stream their series to
+// stdout as well, so the CSV files are a convenience for plotting.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ooctree::util {
+
+/// A single CSV cell: stored as preformatted text.
+class CsvCell {
+ public:
+  CsvCell(std::string_view s) : text_(quote(s)) {}          // NOLINT(google-explicit-constructor)
+  CsvCell(const char* s) : CsvCell(std::string_view(s)) {}  // NOLINT(google-explicit-constructor)
+  CsvCell(const std::string& s) : CsvCell(std::string_view(s)) {}  // NOLINT
+  CsvCell(std::int64_t v) : text_(std::to_string(v)) {}     // NOLINT(google-explicit-constructor)
+  CsvCell(std::uint64_t v) : text_(std::to_string(v)) {}    // NOLINT(google-explicit-constructor)
+  CsvCell(int v) : text_(std::to_string(v)) {}              // NOLINT(google-explicit-constructor)
+  CsvCell(double v);                                        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  static std::string quote(std::string_view s);
+  std::string text_;
+};
+
+/// Streaming CSV file writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
+
+  /// Appends one data row; the number of cells should match the header.
+  void row(std::initializer_list<CsvCell> cells);
+
+  /// Flushes and closes the stream (also done by the destructor).
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace ooctree::util

@@ -1,0 +1,96 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace ooctree::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Shared dynamic counter: workers grab the next index until exhausted.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(n);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  // Capture n and body by value: straggler workers that observe i >= n may
+  // still be running after parallel_for has returned and its frame is gone.
+  const auto drive = [&done_mutex, &done_cv, &done, n, body, next, remaining, first_error, error,
+                      error_mutex]() {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= n) break;
+      if (!first_error->load()) {
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard lock(*error_mutex);
+          if (!first_error->exchange(true)) *error = std::current_exception();
+        }
+      }
+      if (remaining->fetch_sub(1) == 1) {
+        const std::lock_guard lock(done_mutex);
+        done = true;
+        done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n);
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.emplace(drive);
+  }
+  cv_.notify_all();
+  drive();  // the calling thread participates as well
+
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done; });
+  }
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  global_pool().parallel_for(n, body);
+}
+
+}  // namespace ooctree::util

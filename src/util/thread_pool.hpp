@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a blocking parallel_for, used by the benchmark
+// harnesses to evaluate hundreds of independent scheduling instances.
+//
+// The pool follows the structured-parallelism idiom: parallel_for blocks
+// until every index has been processed, so callers never observe detached
+// work. Exceptions thrown by the body are captured and rethrown (first one
+// wins) on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ooctree::util {
+
+/// A fixed set of worker threads consuming a shared task queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(i) for every i in [0, n), distributing dynamically in chunks.
+  /// Blocks until all iterations are complete; rethrows the first exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper: a process-wide pool sized to the hardware.
+ThreadPool& global_pool();
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace ooctree::util

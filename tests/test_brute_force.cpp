@@ -1,0 +1,89 @@
+// Tests for the exhaustive oracles themselves.
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/treegen/shapes.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::for_each_topological_order;
+using core::kNoNode;
+using core::make_tree;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+std::int64_t count_orders(const Tree& t, std::size_t max_nodes = 12) {
+  std::int64_t n = 0;
+  for_each_topological_order(t, [&](const Schedule&) { ++n; }, max_nodes);
+  return n;
+}
+
+TEST(BruteForce, ChainHasOneOrder) {
+  EXPECT_EQ(count_orders(treegen::chain_tree({1, 2, 3, 4, 5})), 1);
+}
+
+TEST(BruteForce, StarHasFactorialOrders) {
+  // k leaves can be permuted arbitrarily before the root: k! orders.
+  EXPECT_EQ(count_orders(treegen::star_tree(4, 1, 1)), 24);
+  EXPECT_EQ(count_orders(treegen::star_tree(5, 1, 1)), 120);
+}
+
+TEST(BruteForce, TwoChainsBinomialOrders) {
+  // Two chains of length 3 under a root: C(6,3) = 20 interleavings.
+  const Tree t = make_tree(
+      {{kNoNode, 1}, {0, 1}, {1, 1}, {2, 1}, {0, 1}, {4, 1}, {5, 1}});
+  EXPECT_EQ(count_orders(t), 20);
+}
+
+TEST(BruteForce, OrdersAreTopologicalAndDistinct) {
+  util::Rng rng(601);
+  const Tree t = test::small_random_wide_tree(7, 5, rng);
+  std::set<Schedule> seen;
+  for_each_topological_order(t, [&](const Schedule& s) {
+    EXPECT_TRUE(core::is_topological_order(t, s));
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate order";
+  });
+}
+
+TEST(BruteForce, SizeGuardThrows) {
+  const Tree t = treegen::star_tree(14, 1, 1);
+  EXPECT_THROW(count_orders(t, 12), std::invalid_argument);
+}
+
+TEST(BruteForce, MinIoWitnessIsConsistent) {
+  util::Rng rng(607);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_tree(7, 7, rng);
+    const Weight m = t.min_feasible_memory() + 1;
+    const auto bf = core::brute_force_min_io(t, m);
+    EXPECT_EQ(core::simulate_fif(t, bf.schedule, m).io_volume, bf.objective);
+  }
+}
+
+TEST(BruteForce, MinPeakWitnessIsConsistent) {
+  util::Rng rng(613);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_wide_tree(8, 6, rng);
+    const auto bf = core::brute_force_min_peak(t);
+    EXPECT_EQ(core::peak_memory(t, bf.schedule), bf.objective);
+  }
+}
+
+TEST(BruteForce, MinIoZeroAtPeakMemory) {
+  util::Rng rng(617);
+  const Tree t = test::small_random_tree(7, 6, rng);
+  const auto peak = core::brute_force_min_peak(t);
+  EXPECT_EQ(core::brute_force_min_io(t, peak.objective).objective, 0);
+}
+
+TEST(BruteForce, MinIoInfeasibleThrows) {
+  const Tree t = make_tree({{kNoNode, 1}, {0, 5}, {0, 6}});
+  EXPECT_THROW((void)core::brute_force_min_io(t, 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ooctree

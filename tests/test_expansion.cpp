@@ -1,0 +1,135 @@
+// Tests for node expansion (Figure 3) and schedule-from-tau (Theorem 2).
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/expansion.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::ExpandedTree;
+using core::ExpansionRole;
+using core::kNoNode;
+using core::make_tree;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+Tree chain4() { return make_tree({{kNoNode, 2}, {0, 5}, {1, 3}, {2, 7}}); }
+
+TEST(Expansion, IdentityMapsNodesToThemselves) {
+  const ExpandedTree e = ExpandedTree::identity(chain4());
+  EXPECT_EQ(e.expansion_volume, 0);
+  for (std::size_t k = 0; k < e.tree.size(); ++k) {
+    EXPECT_EQ(e.origin[k], static_cast<core::NodeId>(k));
+    EXPECT_EQ(e.role[k], ExpansionRole::kCompute);
+  }
+}
+
+TEST(Expansion, ExpandBuildsTheChainOfFigure3) {
+  const ExpandedTree e = ExpandedTree::identity(chain4()).expand(1, 4);
+  ASSERT_EQ(e.tree.size(), 6u);
+  // i1 = old node 1 (weight 5), i2 = node 4 (weight 1), i3 = node 5 (w 5).
+  EXPECT_EQ(e.tree.weight(1), 5);
+  EXPECT_EQ(e.tree.weight(4), 1);
+  EXPECT_EQ(e.tree.weight(5), 5);
+  EXPECT_EQ(e.tree.parent(1), 4);
+  EXPECT_EQ(e.tree.parent(4), 5);
+  EXPECT_EQ(e.tree.parent(5), 0);
+  EXPECT_EQ(e.tree.parent(2), 1) << "children must stay under i1";
+  EXPECT_EQ(e.role[4], ExpansionRole::kShrunk);
+  EXPECT_EQ(e.role[5], ExpansionRole::kRestored);
+  EXPECT_EQ(e.origin[4], 1);
+  EXPECT_EQ(e.origin[5], 1);
+  EXPECT_EQ(e.expansion_volume, 4);
+}
+
+TEST(Expansion, RejectsBadArguments) {
+  const ExpandedTree e = ExpandedTree::identity(chain4());
+  EXPECT_THROW((void)e.expand(9, 1), std::invalid_argument);
+  EXPECT_THROW((void)e.expand(1, -1), std::invalid_argument);
+  EXPECT_THROW((void)e.expand(1, 6), std::invalid_argument);  // w(1) = 5
+}
+
+TEST(Expansion, FullTauGivesZeroWeightMiddle) {
+  const ExpandedTree e = ExpandedTree::identity(chain4()).expand(3, 7);
+  EXPECT_EQ(e.tree.weight(4), 0);
+  EXPECT_EQ(e.tree.weight(5), 7);
+}
+
+TEST(Expansion, RepeatedExpansionComposes) {
+  ExpandedTree e = ExpandedTree::identity(chain4()).expand(1, 2);
+  // Re-expand the shrunk middle node (id 4, weight 3) by 3.
+  e = e.expand(4, 3);
+  EXPECT_EQ(e.expansion_volume, 5);
+  EXPECT_EQ(e.origin[6], 1);  // new i2 still originates from node 1
+  EXPECT_EQ(e.origin[7], 1);
+  EXPECT_EQ(e.tree.weight(6), 0);
+}
+
+TEST(Expansion, MapScheduleKeepsComputeEventsInOrder) {
+  const Tree t = chain4();
+  const ExpandedTree e = ExpandedTree::identity(t).expand(1, 4);
+  const auto opt = core::opt_minmem(e.tree);
+  const Schedule mapped = e.map_schedule(opt.schedule);
+  EXPECT_TRUE(core::is_topological_order(t, mapped));
+  EXPECT_EQ(mapped.size(), t.size());
+}
+
+TEST(Expansion, ExpansionLowersOptPeak) {
+  // Two chains with big leaves: whichever chain goes second runs its leaf
+  // with the first chain's top resident. Expanding that top datum makes the
+  // in-core peak drop, which is exactly how RecExpand forces I/O.
+  //   root(1) <- A1(6) <- A2(10 leaf);  root <- B1(1) <- B2(10 leaf)
+  const Tree t = make_tree({{kNoNode, 1}, {0, 6}, {1, 10}, {0, 1}, {3, 10}});
+  const Weight before = core::opt_minmem(t).peak;
+  EXPECT_EQ(before, 11);  // B chain first, then A with B1 (w 1) resident
+  const ExpandedTree e = ExpandedTree::identity(t).expand(3, 1);  // expand B1 fully
+  const Weight after = core::opt_minmem(e.tree).peak;
+  EXPECT_EQ(after, 10);
+  EXPECT_LT(after, before);
+}
+
+TEST(Theorem2, ReconstructsScheduleFromFifTau) {
+  // For any schedule's FiF tau, schedule_from_io must find a schedule that
+  // is valid with *that* tau budget (possibly a better one).
+  util::Rng rng(401);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = test::small_random_tree(9, 10, rng);
+    const Weight m = t.min_feasible_memory() + 2;
+    const core::FifResult fif = core::simulate_fif(t, t.postorder(), m);
+    ASSERT_TRUE(fif.feasible);
+    const auto sched = core::schedule_from_io(t, fif.io, m);
+    ASSERT_TRUE(sched.has_value());
+    EXPECT_TRUE(core::is_topological_order(t, *sched));
+    // The reconstructed schedule under FiF uses at most the given volume.
+    EXPECT_LE(core::simulate_fif(t, *sched, m).io_volume, fif.io_volume);
+  }
+}
+
+TEST(Theorem2, FailsWhenTauIsInsufficient) {
+  // Two big siblings and tau = 0 cannot fit in a memory below the optimal
+  // peak: schedule_from_io must report failure.
+  const Tree t = make_tree({{kNoNode, 1}, {0, 5}, {0, 6}});
+  const core::IoFunction zero(t.size(), 0);
+  EXPECT_FALSE(core::schedule_from_io(t, zero, 10).has_value());
+  EXPECT_TRUE(core::schedule_from_io(t, zero, 11).has_value());
+}
+
+TEST(Theorem2, ZeroTauEquivalentToOptMinMem) {
+  util::Rng rng(409);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_tree(10, 8, rng);
+    const Weight peak = core::opt_minmem(t).peak;
+    EXPECT_TRUE(core::schedule_from_io(t, core::IoFunction(t.size(), 0), peak).has_value());
+    if (peak > t.min_feasible_memory())
+      EXPECT_FALSE(
+          core::schedule_from_io(t, core::IoFunction(t.size(), 0), peak - 1).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ooctree

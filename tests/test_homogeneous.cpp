@@ -1,0 +1,138 @@
+// Tests for the Section 4.2 label machinery on homogeneous trees.
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/homogeneous.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/treegen/catalan.hpp"
+#include "src/treegen/shapes.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::homogeneous_labels;
+using core::homogeneous_optimal_io;
+using core::kNoNode;
+using core::make_tree;
+using core::Tree;
+using core::Weight;
+
+TEST(Homogeneous, RejectsWeightedTrees) {
+  const Tree t = make_tree({{kNoNode, 2}, {0, 1}});
+  EXPECT_THROW((void)homogeneous_labels(t, 10), std::invalid_argument);
+}
+
+TEST(Homogeneous, LeafLabels) {
+  const Tree t = make_tree({{kNoNode, 1}});
+  const auto labels = homogeneous_labels(t, 5);
+  EXPECT_EQ(labels.l[0], 1);
+  EXPECT_EQ(labels.total_io, 0);
+}
+
+TEST(Homogeneous, LabelOfBalancedBinaryTree) {
+  // Complete binary tree of depth d has l(root) = d + 1 in this model:
+  // processing the second child keeps one sibling resident per level.
+  for (std::size_t depth = 1; depth <= 5; ++depth) {
+    const Tree t = treegen::complete_kary_tree(2, depth, 1);
+    const auto labels = homogeneous_labels(t, 1000);
+    EXPECT_EQ(labels.l[static_cast<std::size_t>(t.root())], static_cast<Weight>(depth))
+        << "depth " << depth;
+  }
+}
+
+TEST(Homogeneous, LabelOfChainIsOne) {
+  const Tree chain = treegen::chain_tree({1, 1, 1, 1, 1});
+  EXPECT_EQ(core::homogeneous_min_peak(chain), 1);
+}
+
+TEST(Homogeneous, LabelOfStar) {
+  // Star with k leaves: children all have l = 1, so l(root) = 1 + (k-1) = k.
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const Tree star = treegen::star_tree(k, 1, 1);
+    EXPECT_EQ(core::homogeneous_min_peak(star), static_cast<Weight>(k));
+  }
+}
+
+TEST(Homogeneous, PostorderScheduleAchievesW) {
+  // Lemma 3 + Lemma 5: POSTORDER's FiF I/O equals W(T) exactly.
+  util::Rng rng(301);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = treegen::uniform_binary_tree_exact(14, rng);
+    const Weight peak = core::homogeneous_min_peak(t);
+    for (Weight m = t.min_feasible_memory(); m <= peak; ++m) {
+      const auto labels = homogeneous_labels(t, m);
+      EXPECT_EQ(core::simulate_fif(t, labels.postorder, m).io_volume, labels.total_io)
+          << t.to_string() << " M=" << m;
+    }
+  }
+}
+
+TEST(Homogeneous, WMatchesBruteForce) {
+  // Lemma 5 (lower bound) + Lemma 3 (upper bound): W(T) is the exact
+  // optimum; cross-check with exhaustive search over all traversals.
+  util::Rng rng(307);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = treegen::uniform_binary_tree_exact(8, rng);
+    const Weight peak = core::homogeneous_min_peak(t);
+    for (Weight m = t.min_feasible_memory(); m <= peak; ++m) {
+      EXPECT_EQ(homogeneous_optimal_io(t, m), core::brute_force_min_io(t, m).objective)
+          << t.to_string() << " M=" << m;
+    }
+  }
+}
+
+TEST(Homogeneous, WideTreesMatchBruteForce) {
+  util::Rng rng(311);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = treegen::random_recursive_tree(8, rng);
+    const Weight peak = core::homogeneous_min_peak(t);
+    for (Weight m = t.min_feasible_memory(); m <= peak; ++m) {
+      EXPECT_EQ(homogeneous_optimal_io(t, m), core::brute_force_min_io(t, m).objective);
+    }
+  }
+}
+
+TEST(Homogeneous, ZeroIoAtPeakMemory) {
+  util::Rng rng(313);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = treegen::uniform_binary_tree_exact(12, rng);
+    const Weight peak = core::homogeneous_min_peak(t);
+    EXPECT_EQ(homogeneous_optimal_io(t, peak), 0);
+    if (peak > t.min_feasible_memory()) EXPECT_GT(homogeneous_optimal_io(t, peak - 1), 0);
+  }
+}
+
+TEST(Homogeneous, CLabelsRespectDefinition) {
+  util::Rng rng(317);
+  const Tree t = treegen::uniform_binary_tree_exact(20, rng);
+  const Weight m = std::max<Weight>(t.min_feasible_memory(), core::homogeneous_min_peak(t) / 2);
+  const auto labels = homogeneous_labels(t, m);
+  EXPECT_EQ(labels.c[static_cast<std::size_t>(t.root())], 0);
+  Weight total = 0;
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    EXPECT_TRUE(labels.c[v] == 0 || labels.c[v] == 1);
+    total += labels.w[v];
+    // w(v) sums the children's c labels.
+    Weight sum_c = 0;
+    for (const core::NodeId child : t.children(static_cast<core::NodeId>(v)))
+      sum_c += labels.c[static_cast<std::size_t>(child)];
+    EXPECT_EQ(labels.w[v], sum_c);
+  }
+  EXPECT_EQ(labels.total_io, total);
+}
+
+TEST(Homogeneous, MonotoneInMemory) {
+  util::Rng rng(331);
+  const Tree t = treegen::uniform_binary_tree_exact(16, rng);
+  Weight previous = std::numeric_limits<Weight>::max();
+  for (Weight m = t.min_feasible_memory(); m <= core::homogeneous_min_peak(t); ++m) {
+    const Weight io = homogeneous_optimal_io(t, m);
+    EXPECT_LE(io, previous);
+    previous = io;
+  }
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,63 @@
+// Tests for the interleaving lemma (paper, Theorem 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/core/interleave.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::InterleaveItem;
+using core::interleave_cost;
+using core::optimal_interleave_cost;
+using core::optimal_interleave_order;
+
+TEST(Interleave, CostOfFixedOrder) {
+  const std::vector<InterleaveItem> items{{5, 2}, {4, 1}, {7, 3}};
+  // Order 0,1,2: max(5, 2+4, 3+7) = 10.
+  EXPECT_EQ(interleave_cost(items, {0, 1, 2}), 10);
+  // Order 2,0,1: max(7, 3+5, 5+4) = 9.
+  EXPECT_EQ(interleave_cost(items, {2, 0, 1}), 9);
+}
+
+TEST(Interleave, OptimalMatchesBruteForce) {
+  util::Rng rng(42);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t n = 1 + rng.index(7);
+    std::vector<InterleaveItem> items(n);
+    for (auto& it : items) {
+      it.residue = rng.uniform_int(0, 10);
+      it.peak = it.residue + rng.uniform_int(0, 10);  // peak >= residue
+    }
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    do {
+      best = std::min(best, interleave_cost(items, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(optimal_interleave_cost(items), best);
+  }
+}
+
+TEST(Interleave, SortsByPeakMinusResidue) {
+  const std::vector<InterleaveItem> items{{3, 3}, {10, 1}, {5, 2}};
+  const auto order = optimal_interleave_order(items);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Interleave, StableOnTies) {
+  const std::vector<InterleaveItem> items{{4, 2}, {6, 4}, {3, 1}};
+  // All have peak - residue = 2: original order preserved.
+  EXPECT_EQ(optimal_interleave_order(items), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Interleave, EmptyAndSingleton) {
+  EXPECT_EQ(optimal_interleave_cost({}), 0);
+  EXPECT_EQ(optimal_interleave_cost({{7, 3}}), 7);
+}
+
+}  // namespace
+}  // namespace ooctree

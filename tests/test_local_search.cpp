@@ -1,0 +1,105 @@
+// Tests for schedule polishing (local search beyond the paper).
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/local_search.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/strategies.hpp"
+#include "src/treegen/paper_trees.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::polish_schedule;
+using core::PolishOptions;
+using core::Tree;
+using core::Weight;
+
+TEST(Polish, NeverWorseAndValid) {
+  util::Rng rng(1601);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t = test::small_random_tree(30, 20, rng);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::opt_minmem(t).peak;
+    const Weight m = std::max(lb, (lb + peak) / 2);
+    const auto base = core::run_strategy(core::Strategy::kOptMinMem, t, m);
+    PolishOptions opts;
+    opts.max_evaluations = 500;
+    opts.seed = static_cast<std::uint64_t>(rep);
+    const auto polished = polish_schedule(t, base.schedule, m, opts);
+    EXPECT_EQ(polished.io_before, base.io_volume());
+    EXPECT_LE(polished.io_after, polished.io_before);
+    const auto check = core::simulate_fif(t, polished.schedule, m);
+    EXPECT_EQ(check.io_volume, polished.io_after);
+    test::expect_valid_traversal(t, polished.schedule, check.io, m);
+  }
+}
+
+TEST(Polish, RepairsOptMinMemOnFig2b) {
+  // Figure 2(b): the OptMinMem order pays more than the chain-by-chain
+  // optimum (3); local search must close most of that gap.
+  const auto inst = treegen::fig2b();
+  const auto base = core::run_strategy(core::Strategy::kOptMinMem, inst.tree, inst.memory);
+  ASSERT_GT(base.io_volume(), 3);
+  PolishOptions opts;
+  opts.max_evaluations = 3000;
+  opts.seed = 5;
+  const auto polished = polish_schedule(inst.tree, base.schedule, inst.memory, opts);
+  EXPECT_EQ(polished.io_after, 3) << "local search should reach the optimum on 9 nodes";
+}
+
+TEST(Polish, RepairsOptMinMemOnFig2c) {
+  // Figure 2(c) with k=3: OptMinMem pays quadratically; polishing should
+  // reach (or approach) the 2k optimum.
+  const auto inst = treegen::fig2c(3);
+  const auto base = core::run_strategy(core::Strategy::kOptMinMem, inst.tree, inst.memory);
+  ASSERT_GT(base.io_volume(), 6);
+  PolishOptions opts;
+  opts.max_evaluations = 8000;
+  opts.patience = 8000;
+  opts.seed = 11;
+  const auto polished = polish_schedule(inst.tree, base.schedule, inst.memory, opts);
+  EXPECT_LT(polished.io_after, base.io_volume());
+}
+
+TEST(Polish, StopsImmediatelyAtZeroIo) {
+  util::Rng rng(1607);
+  const Tree t = test::small_random_tree(20, 10, rng);
+  const Weight peak = core::opt_minmem(t).peak;
+  const auto base = core::opt_minmem(t).schedule;
+  const auto polished = polish_schedule(t, base, peak);
+  EXPECT_EQ(polished.io_after, 0);
+  EXPECT_EQ(polished.evaluations, 0u);
+}
+
+TEST(Polish, SometimesReachesBruteForceOptimum) {
+  util::Rng rng(1613);
+  int reached = 0, nontrivial = 0;
+  for (int rep = 0; rep < 200 && nontrivial < 20; ++rep) {
+    const Tree t = test::small_random_tree(8, 8, rng);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::opt_minmem(t).peak;
+    if (peak <= lb) continue;
+    ++nontrivial;
+    const Weight m = (lb + peak) / 2;
+    const Weight opt = core::brute_force_min_io(t, m).objective;
+    PolishOptions opts;
+    opts.max_evaluations = 1500;
+    opts.seed = static_cast<std::uint64_t>(rep);
+    const auto polished =
+        polish_schedule(t, core::opt_minmem(t).schedule, m, opts);
+    EXPECT_GE(polished.io_after, opt);
+    reached += (polished.io_after == opt) ? 1 : 0;
+  }
+  ASSERT_GE(nontrivial, 10);
+  EXPECT_GE(reached * 10, nontrivial * 8) << reached << "/" << nontrivial;
+}
+
+TEST(Polish, ThrowsOnInfeasibleBound) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}, {0, 6}});
+  EXPECT_THROW((void)polish_schedule(t, {1, 2, 0}, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

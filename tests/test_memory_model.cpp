@@ -1,0 +1,145 @@
+// Tests for the second transient-memory model (sum of inputs + output,
+// Liu's classic pebbling model) and its interaction with every algorithm.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/homogeneous.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/core/rec_expand.hpp"
+#include "src/core/strategies.hpp"
+#include "src/core/tree_io.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::kNoNode;
+using core::make_tree;
+using core::MemoryModel;
+using core::Tree;
+using core::Weight;
+
+Tree sum_tree(const std::vector<std::pair<core::NodeId, Weight>>& nodes) {
+  std::vector<core::NodeId> parent;
+  std::vector<Weight> weight;
+  for (const auto& [p, w] : nodes) {
+    parent.push_back(p);
+    weight.push_back(w);
+  }
+  return Tree::from_parents(std::move(parent), std::move(weight), MemoryModel::kSumInOut);
+}
+
+TEST(MemoryModel, WbarFormulas) {
+  //      0(5) <- 1(3), 2(4); 1 <- 3(2)
+  const Tree max_t = make_tree({{kNoNode, 5}, {0, 3}, {0, 4}, {1, 2}});
+  const Tree sum_t = max_t.with_memory_model(MemoryModel::kSumInOut);
+  EXPECT_EQ(max_t.wbar(0), 7);       // max(5, 3+4)
+  EXPECT_EQ(sum_t.wbar(0), 12);      // 5 + 3 + 4
+  EXPECT_EQ(max_t.wbar(1), 3);       // max(3, 2)
+  EXPECT_EQ(sum_t.wbar(1), 5);       // 3 + 2
+  EXPECT_EQ(max_t.wbar(3), 2);       // leaf: both models agree
+  EXPECT_EQ(sum_t.wbar(3), 2);
+  EXPECT_EQ(sum_t.memory_model(), MemoryModel::kSumInOut);
+  EXPECT_EQ(max_t.memory_model(), MemoryModel::kMaxInOut);
+}
+
+TEST(MemoryModel, SumModelNeedsAtLeastAsMuchMemory) {
+  util::Rng rng(1501);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Tree max_t = test::small_random_tree(20, 15, rng);
+    const Tree sum_t = max_t.with_memory_model(MemoryModel::kSumInOut);
+    EXPECT_GE(sum_t.min_feasible_memory(), max_t.min_feasible_memory());
+    EXPECT_GE(core::opt_minmem(sum_t).peak, core::opt_minmem(max_t).peak);
+    EXPECT_GE(core::postorder_minmem(sum_t).peak, core::postorder_minmem(max_t).peak);
+  }
+}
+
+TEST(MemoryModel, OptMinMemStillExactUnderSumModel) {
+  // The hill-valley machinery is generic in wbar: it must stay exact.
+  util::Rng rng(1511);
+  for (int rep = 0; rep < 60; ++rep) {
+    const Tree t =
+        test::small_random_tree(8, 9, rng).with_memory_model(MemoryModel::kSumInOut);
+    EXPECT_EQ(core::opt_minmem(t).peak, core::brute_force_min_peak(t).objective)
+        << t.to_string();
+  }
+}
+
+TEST(MemoryModel, StrategiesValidUnderSumModel) {
+  util::Rng rng(1523);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t =
+        test::small_random_tree(25, 12, rng).with_memory_model(MemoryModel::kSumInOut);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::opt_minmem(t).peak;
+    const Weight m = std::max(lb, (lb + peak) / 2);
+    for (const core::Strategy s : core::all_strategies()) {
+      const auto out = core::run_strategy(s, t, m);
+      ASSERT_TRUE(out.evaluation.feasible) << core::strategy_name(s);
+      test::expect_valid_traversal(t, out.schedule, out.evaluation.io, m);
+    }
+  }
+}
+
+TEST(MemoryModel, PostOrderMinIoPredictionHoldsUnderSumModel) {
+  util::Rng rng(1531);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t =
+        test::small_random_wide_tree(15, 10, rng).with_memory_model(MemoryModel::kSumInOut);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::postorder_minmem(t).peak;
+    for (const Weight m : {lb, (lb + peak) / 2, peak}) {
+      const auto r = core::postorder_minio(t, m);
+      EXPECT_EQ(r.predicted_io, core::simulate_fif(t, r.schedule, m).io_volume) << "M=" << m;
+    }
+  }
+}
+
+TEST(MemoryModel, ModelsDisagreeOnConcreteTree) {
+  // The chain 0(2) <- 1(3) <- 2(4): forced order, but the peaks differ:
+  // max model: max(4, max(3,4), max(2,3)) = 4; sum model: 4, 3+4, 2+3 = 7.
+  const Tree max_t = make_tree({{kNoNode, 2}, {0, 3}, {1, 4}});
+  const Tree sum_t = sum_tree({{kNoNode, 2}, {0, 3}, {1, 4}});
+  EXPECT_EQ(core::opt_minmem(max_t).peak, 4);
+  EXPECT_EQ(core::opt_minmem(sum_t).peak, 7);
+  // I/O under M = 5: max model none; sum model must spill.
+  EXPECT_EQ(core::fif_io_volume(max_t, {2, 1, 0}, 5), 0);
+  EXPECT_GT(core::fif_io_volume(sum_t, {2, 1, 0}, 7), -1);
+  EXPECT_EQ(core::fif_io_volume(sum_t, {2, 1, 0}, 7), 0);
+}
+
+TEST(MemoryModel, TreeIoRoundTripsTheModel) {
+  const Tree t = sum_tree({{kNoNode, 2}, {0, 3}, {1, 4}});
+  std::ostringstream out;
+  core::write_tree(out, t);
+  std::istringstream in(out.str());
+  const Tree back = core::read_tree(in);
+  EXPECT_EQ(back.memory_model(), MemoryModel::kSumInOut);
+  EXPECT_EQ(back.wbar(back.root()), t.wbar(t.root()));
+  // Default trees stay on the paper's model.
+  std::ostringstream out2;
+  core::write_tree(out2, t.with_memory_model(MemoryModel::kMaxInOut));
+  std::istringstream in2(out2.str());
+  EXPECT_EQ(core::read_tree(in2).memory_model(), MemoryModel::kMaxInOut);
+}
+
+TEST(MemoryModel, SubtreeAndExpansionPropagate) {
+  const Tree t =
+      sum_tree({{kNoNode, 2}, {0, 3}, {1, 4}, {0, 1}});
+  EXPECT_EQ(t.subtree(1).memory_model(), MemoryModel::kSumInOut);
+  const auto expanded = core::ExpandedTree::identity(t).expand(1, 2);
+  EXPECT_EQ(expanded.tree.memory_model(), MemoryModel::kSumInOut);
+}
+
+TEST(MemoryModel, HomogeneousTheoryGuarded) {
+  const Tree t = sum_tree({{kNoNode, 1}, {0, 1}});
+  EXPECT_THROW((void)core::homogeneous_labels(t, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

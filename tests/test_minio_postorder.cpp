@@ -1,0 +1,130 @@
+// Tests for the best I/O postorder (POSTORDERMINIO, Section 4.1) and its
+// optimality on homogeneous trees (Theorem 4).
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/homogeneous.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::kNoNode;
+using core::make_tree;
+using core::postorder_minio;
+using core::Schedule;
+using core::simulate_fif;
+using core::Tree;
+using core::Weight;
+
+TEST(PostOrderMinIo, PredictionMatchesFifSimulation) {
+  // The analytic V_root must equal the FiF evaluation of the emitted
+  // postorder — on binary and on wide trees, across memory bounds.
+  util::Rng rng(201);
+  for (int rep = 0; rep < 60; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(12, 10, rng)
+                                  : test::small_random_wide_tree(12, 10, rng);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::postorder_minmem(t).peak;
+    for (const Weight m : {lb, (lb + peak) / 2, peak}) {
+      const auto r = postorder_minio(t, m);
+      EXPECT_EQ(r.predicted_io, simulate_fif(t, r.schedule, m).io_volume)
+          << t.to_string() << " M=" << m;
+    }
+  }
+}
+
+TEST(PostOrderMinIo, BestAmongAllPostordersSmall) {
+  // Exhaustive: no postorder beats the A-sorted one.
+  util::Rng rng(203);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = test::small_random_wide_tree(7, 8, rng);
+    const Weight m = t.min_feasible_memory() + 2;
+    const auto r = postorder_minio(t, m);
+    std::vector<std::size_t> pos(t.size());
+    Weight best = std::numeric_limits<Weight>::max();
+    core::for_each_topological_order(t, [&](const Schedule& s) {
+      // Keep postorders only.
+      for (std::size_t k = 0; k < s.size(); ++k) pos[static_cast<std::size_t>(s[k])] = k;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        std::size_t lo = pos[i];
+        for (const core::NodeId d : t.postorder(static_cast<core::NodeId>(i)))
+          lo = std::min(lo, pos[static_cast<std::size_t>(d)]);
+        if (lo != pos[i] + 1 - t.subtree_size(static_cast<core::NodeId>(i))) return;
+      }
+      best = std::min(best, simulate_fif(t, s, m).io_volume);
+    });
+    EXPECT_EQ(r.predicted_io, best) << t.to_string();
+  }
+}
+
+TEST(PostOrderMinIo, OptimalOnHomogeneousTrees) {
+  // Theorem 4: on homogeneous trees POSTORDERMINIO achieves the global
+  // optimum, which equals the W(T) label of Section 4.2 and the brute-force
+  // minimum over all (not only postorder) traversals.
+  util::Rng rng(207);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Tree t = treegen::uniform_binary_tree_exact(9, rng);
+    const Weight lb = t.min_feasible_memory();
+    const Weight peak = core::postorder_minmem(t).peak;
+    for (Weight m = lb; m <= peak; ++m) {
+      const auto r = postorder_minio(t, m);
+      const Weight exact = core::homogeneous_optimal_io(t, m);
+      const Weight brute = core::brute_force_min_io(t, m).objective;
+      EXPECT_EQ(r.predicted_io, exact) << t.to_string() << " M=" << m;
+      EXPECT_EQ(exact, brute) << t.to_string() << " M=" << m;
+    }
+  }
+}
+
+TEST(PostOrderMinIo, ZeroIoWhenPostorderPeakFits) {
+  util::Rng rng(211);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_tree(15, 9, rng);
+    const Weight peak = core::postorder_minmem(t).peak;
+    EXPECT_EQ(postorder_minio(t, peak).predicted_io, 0);
+    EXPECT_GE(postorder_minio(t, peak - 1).predicted_io, peak == t.min_feasible_memory() ? 0 : 1);
+  }
+}
+
+TEST(PostOrderMinIo, UsedMemoryCappedAtM) {
+  util::Rng rng(213);
+  const Tree t = test::small_random_tree(20, 12, rng);
+  const Weight m = t.min_feasible_memory() + 1;
+  const auto r = postorder_minio(t, m);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(r.used[i], m);
+    EXPECT_LE(r.used[i], r.storage[i]);
+    EXPECT_GE(r.io[i], 0);
+  }
+}
+
+TEST(PostOrderMinIo, ChildOrderByAMinusW) {
+  // Two subtrees with equal storage S = 10 but different weights: the one
+  // with smaller weight (larger A - w) must be scheduled first.
+  //   root(1) <- a(2) <- leaf(10);  root <- b(8) <- leaf(10)
+  const Tree t = make_tree({{kNoNode, 1}, {0, 2}, {1, 10}, {0, 8}, {3, 10}});
+  const auto r = postorder_minio(t, 10);
+  // a's chain first (A - w = 10 - 2 = 8 > 10 - 8 = 2).
+  EXPECT_EQ(r.schedule.front(), 2);
+  // Cost check: a first -> while b's chain runs, a (w 2) is active:
+  // max(A_b + 2) - 10 = 2 I/Os; b first would cost max(A_a + 8) - 10 = 8.
+  EXPECT_EQ(r.predicted_io, 2);
+}
+
+TEST(PostOrderMinIo, MatchesPaperExampleFig7) {
+  // Figure 7: POSTORDERMINIO achieves the optimum 3 I/Os with M = 7.
+  const Tree t = make_tree(
+      {{kNoNode, 1}, {0, 3}, {1, 2}, {2, 7}, {1, 3}, {0, 4}, {5, 7}});
+  EXPECT_EQ(postorder_minio(t, 7).predicted_io, 3);
+}
+
+TEST(PostOrderMinIo, SingleNodeNoIo) {
+  EXPECT_EQ(postorder_minio(make_tree({{kNoNode, 5}}), 5).predicted_io, 0);
+}
+
+}  // namespace
+}  // namespace ooctree

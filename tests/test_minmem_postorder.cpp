@@ -1,0 +1,110 @@
+// Tests for Liu's best peak-memory postorder (POSTORDERMINMEM).
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/treegen/catalan.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::kNoNode;
+using core::make_tree;
+using core::peak_memory;
+using core::postorder_minmem;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+/// True iff `order` never interrupts a subtree: once a node of subtree T_i
+/// is started, all of T_i finishes before any node outside T_i runs.
+bool is_postorder_traversal(const Tree& t, const Schedule& order) {
+  // Equivalent check: for every node, its subtree occupies a contiguous
+  // range of the schedule ending at the node itself.
+  std::vector<std::size_t> pos(t.size());
+  for (std::size_t k = 0; k < order.size(); ++k) pos[static_cast<std::size_t>(order[k])] = k;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<core::NodeId>(i);
+    const std::size_t sub = t.subtree_size(id);
+    // Earliest position among subtree nodes must be pos[i] - sub + 1.
+    std::size_t lo = pos[i];
+    for (const core::NodeId d : t.postorder(id)) lo = std::min(lo, pos[static_cast<std::size_t>(d)]);
+    if (lo != pos[i] + 1 - sub) return false;
+  }
+  return true;
+}
+
+TEST(PostOrderMinMem, SchedulesArePostorders) {
+  util::Rng rng(3);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = test::small_random_wide_tree(10, 9, rng);
+    const auto r = postorder_minmem(t);
+    EXPECT_TRUE(core::is_topological_order(t, r.schedule));
+    EXPECT_TRUE(is_postorder_traversal(t, r.schedule));
+  }
+}
+
+TEST(PostOrderMinMem, PeakMatchesSimulation) {
+  util::Rng rng(5);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = test::small_random_tree(10, 20, rng);
+    const auto r = postorder_minmem(t);
+    EXPECT_EQ(r.peak, peak_memory(t, r.schedule))
+        << "analytic S_root must equal the simulated peak of the schedule";
+  }
+}
+
+TEST(PostOrderMinMem, OptimalAmongAllPostorders) {
+  // Exhaustive check: enumerate every postorder (all child permutations)
+  // on small trees and verify none beats the analytic result.
+  util::Rng rng(9);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_wide_tree(7, 8, rng);
+    const auto r = postorder_minmem(t);
+    Weight best = std::numeric_limits<Weight>::max();
+    core::for_each_topological_order(t, [&](const Schedule& s) {
+      if (is_postorder_traversal(t, s)) best = std::min(best, peak_memory(t, s));
+    });
+    EXPECT_EQ(r.peak, best);
+  }
+}
+
+TEST(PostOrderMinMem, ChainIsExact) {
+  const Tree chain = make_tree({{kNoNode, 2}, {0, 5}, {1, 3}, {2, 7}});
+  // Bottom-up peaks: 7, max(3,7)=7, max(5,3)=5, max(2,5)=5 -> S = 7.
+  const auto r = postorder_minmem(chain);
+  EXPECT_EQ(r.peak, 7);
+  EXPECT_EQ(r.schedule, (Schedule{3, 2, 1, 0}));
+}
+
+TEST(PostOrderMinMem, ChildOrderBySMinusW) {
+  //    root(1) with children a (S=10, w=1) and b (S=6, w=5).
+  //    a: 1 <- leaf 10 ; b: 5 <- leaf 6.
+  const Tree t = make_tree({{kNoNode, 1}, {0, 1}, {1, 10}, {0, 5}, {3, 6}});
+  // a first: peak max(10, 1+6) = 10; b first: max(6, 5+10) = 15.
+  const auto r = postorder_minmem(t);
+  EXPECT_EQ(r.peak, 10);
+  EXPECT_EQ(r.schedule.front(), 2) << "subtree with larger S - w must go first";
+}
+
+TEST(PostOrderMinMem, StorageIsMonotone) {
+  util::Rng rng(13);
+  const Tree t = test::small_random_tree(30, 15, rng);
+  const auto r = postorder_minmem(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<core::NodeId>(i);
+    if (t.parent(id) != kNoNode)
+      EXPECT_LE(r.storage[i], r.storage[static_cast<std::size_t>(t.parent(id))]);
+    EXPECT_GE(r.storage[i], t.wbar(id));
+  }
+}
+
+TEST(PostOrderMinMem, SingleNode) {
+  const auto r = postorder_minmem(make_tree({{kNoNode, 6}}));
+  EXPECT_EQ(r.peak, 6);
+  EXPECT_EQ(r.schedule, Schedule{0});
+}
+
+}  // namespace
+}  // namespace ooctree

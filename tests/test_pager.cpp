@@ -1,0 +1,128 @@
+// Tests for the page-granular out-of-core simulator and its policies.
+#include <gtest/gtest.h>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/iosim/pager.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::Tree;
+using core::Weight;
+using iosim::PagerConfig;
+using iosim::PagerStats;
+using iosim::Policy;
+using iosim::run_pager;
+
+PagerConfig config(Weight memory, Policy p, Weight page = 1) {
+  PagerConfig c;
+  c.memory = memory;
+  c.page_size = page;
+  c.policy = p;
+  return c;
+}
+
+TEST(Pager, BeladyUnitPagesMatchesAnalyticFif) {
+  // The cornerstone cross-validation: with page_size = 1 the pager under
+  // Belady must reproduce core::simulate_fif write-for-write.
+  util::Rng rng(901);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(14, 12, rng)
+                                  : test::small_random_wide_tree(14, 12, rng);
+    const auto schedule = core::opt_minmem(t).schedule;
+    const Weight lb = t.min_feasible_memory();
+    for (const Weight m : {lb, lb + 3, lb + 10}) {
+      const auto fif = core::simulate_fif(t, schedule, m);
+      const PagerStats pager = run_pager(t, schedule, config(m, Policy::kBelady));
+      ASSERT_EQ(pager.feasible, fif.feasible);
+      if (fif.feasible) {
+        EXPECT_EQ(pager.pages_written, fif.io_volume) << t.to_string() << " M=" << m;
+        EXPECT_EQ(pager.pages_read, fif.io_volume) << "reads must mirror writes";
+      }
+    }
+  }
+}
+
+TEST(Pager, NoIoWithAmpleMemory) {
+  util::Rng rng(907);
+  const Tree t = test::small_random_tree(20, 10, rng);
+  const auto schedule = t.postorder();
+  for (const Policy p : {Policy::kBelady, Policy::kLru, Policy::kFifo, Policy::kRandom,
+                         Policy::kLargestFirst}) {
+    const PagerStats s = run_pager(t, schedule, config(100000, p));
+    EXPECT_TRUE(s.feasible);
+    EXPECT_EQ(s.pages_written, 0) << iosim::policy_name(p);
+  }
+}
+
+TEST(Pager, BeladyIsNeverBeatenByOtherPolicies) {
+  // Theorem 1 in practice: for a fixed schedule, Belady's write count is a
+  // lower bound over all policies (page_size 1 so amounts are exact).
+  util::Rng rng(911);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = test::small_random_tree(16, 10, rng);
+    const auto schedule = core::opt_minmem(t).schedule;
+    const Weight m = t.min_feasible_memory() + 4;
+    const auto belady = run_pager(t, schedule, config(m, Policy::kBelady));
+    ASSERT_TRUE(belady.feasible);
+    for (const Policy p : {Policy::kLru, Policy::kFifo, Policy::kRandom, Policy::kLargestFirst}) {
+      const auto other = run_pager(t, schedule, config(m, p));
+      ASSERT_TRUE(other.feasible) << iosim::policy_name(p);
+      EXPECT_GE(other.pages_written, belady.pages_written) << iosim::policy_name(p);
+    }
+  }
+}
+
+TEST(Pager, PageGranularityRoundsUp) {
+  // With pages of 4 units, a 6-unit datum occupies 2 pages; evicting it
+  // writes page multiples.
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 6}, {0, 2}, {2, 8}});
+  // Schedule 1, 3, 2, 0. Units: at node 3, active {1:6} + wbar(3)=8.
+  // In pages of 4: frames = M/4; datum 1 = 2 pages, leaf 8 = 2 pages.
+  const PagerConfig c = config(14, Policy::kBelady, 4);  // 3 frames
+  const PagerStats s = run_pager(t, {1, 3, 2, 0}, c);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GT(s.pages_written, 0);
+  EXPECT_EQ(s.pages_written % 1, 0);
+  EXPECT_EQ(s.write_volume(c), s.pages_written * 4);
+}
+
+TEST(Pager, InfeasibleWhenWorkingSetExceedsFrames) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}, {0, 6}});
+  const PagerStats s = run_pager(t, {1, 2, 0}, config(10, Policy::kBelady));
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(Pager, RejectsBadSchedule) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}});
+  EXPECT_THROW((void)run_pager(t, {0, 1}, config(10, Policy::kBelady)), std::invalid_argument);
+  PagerConfig c = config(10, Policy::kBelady);
+  c.page_size = 0;
+  EXPECT_THROW((void)run_pager(t, {1, 0}, c), std::invalid_argument);
+}
+
+TEST(Pager, RandomPolicyIsDeterministicPerSeed) {
+  util::Rng rng(919);
+  const Tree t = test::small_random_tree(16, 10, rng);
+  const auto schedule = t.postorder();
+  PagerConfig c = config(t.min_feasible_memory() + 2, Policy::kRandom);
+  c.seed = 77;
+  const auto a = run_pager(t, schedule, c);
+  const auto b = run_pager(t, schedule, c);
+  EXPECT_EQ(a.pages_written, b.pages_written);
+  EXPECT_EQ(a.eviction_events, b.eviction_events);
+}
+
+TEST(Pager, PeakFramesBounded) {
+  util::Rng rng(929);
+  const Tree t = test::small_random_tree(16, 10, rng);
+  const Weight m = t.min_feasible_memory() + 5;
+  const auto s = run_pager(t, t.postorder(), config(m, Policy::kLru));
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.peak_frames_used, m);  // page_size 1: frames == units
+}
+
+}  // namespace
+}  // namespace ooctree

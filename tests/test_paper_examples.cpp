@@ -1,0 +1,163 @@
+// Verbatim verification of the paper's counterexamples (Figures 2, 6, 7):
+// every quantitative claim in Sections 4.3, 4.4 and Appendix A is asserted.
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/lower_bounds.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/treegen/paper_trees.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::simulate_fif;
+using core::Weight;
+using treegen::fig2a;
+using treegen::fig2b;
+using treegen::fig2c;
+
+TEST(Fig2a, AnnotatedScheduleUsesOneIo) {
+  for (const Weight m : {4, 8, 20, 100}) {
+    for (const std::size_t levels : {2u, 3u, 5u}) {
+      const auto inst = fig2a(levels, m);
+      const auto r = simulate_fif(inst.tree, inst.annotated_schedule, inst.memory);
+      ASSERT_TRUE(r.feasible);
+      EXPECT_EQ(r.io_volume, 1) << "levels=" << levels << " M=" << m;
+    }
+  }
+}
+
+TEST(Fig2a, OneIoIsOptimal) {
+  // The peak-gap bound shows at least one I/O is unavoidable, so the
+  // annotated schedule is optimal.
+  const auto inst = fig2a(3, 8);
+  EXPECT_GE(core::io_lower_bound_peak_gap(inst.tree, inst.memory), 1);
+}
+
+TEST(Fig2a, PostorderPaysPerLeaf) {
+  // Section 4.3: any postorder performs >= M/2 - 1 I/Os for all but one
+  // leaf. With levels L there are L + 1 leaves.
+  for (const Weight m : {8, 16, 40}) {
+    for (const std::size_t levels : {2u, 3u, 6u}) {
+      const auto inst = fig2a(levels, m);
+      const auto post = core::postorder_minio(inst.tree, inst.memory);
+      EXPECT_GE(post.predicted_io, static_cast<Weight>(levels) * (m / 2 - 1))
+          << "levels=" << levels << " M=" << m;
+    }
+  }
+}
+
+TEST(Fig2a, RatioGrowsLinearly) {
+  // POSTORDERMINIO / OPT grows like levels * (M/2 - 1): not constant-factor
+  // competitive (Section 4.3).
+  const Weight m = 16;
+  Weight previous = 0;
+  for (std::size_t levels = 2; levels <= 10; levels += 2) {
+    const auto inst = fig2a(levels, m);
+    const Weight post = core::postorder_minio(inst.tree, inst.memory).predicted_io;
+    EXPECT_GT(post, previous);
+    previous = post;
+  }
+  EXPECT_GE(previous, 10 * (m / 2 - 1));
+}
+
+TEST(Fig2b, OptimalPeakIsEightAndCostsFour) {
+  const auto inst = fig2b();
+  EXPECT_EQ(core::opt_minmem(inst.tree).peak, 8);
+  // The figure's OPTMINMEM order reaches peak 8 and pays 4 I/Os.
+  EXPECT_EQ(core::peak_memory(inst.tree, inst.annotated_schedule), 8);
+  EXPECT_EQ(simulate_fif(inst.tree, inst.annotated_schedule, inst.memory).io_volume, 4);
+}
+
+TEST(Fig2b, ChainByChainCostsThree) {
+  const auto inst = fig2b();
+  // One chain then the other: peak 9, only 3 I/Os — better for MinIO.
+  const core::Schedule chain_by_chain{8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(core::peak_memory(inst.tree, chain_by_chain), 9);
+  EXPECT_EQ(simulate_fif(inst.tree, chain_by_chain, inst.memory).io_volume, 3);
+  EXPECT_EQ(core::brute_force_min_io(inst.tree, inst.memory).objective, 3);
+}
+
+TEST(Fig2c, StructureAndBounds) {
+  for (const Weight k : {1, 2, 3, 7}) {
+    const auto inst = fig2c(k);
+    EXPECT_EQ(inst.tree.size(), static_cast<std::size_t>(4 * k + 5));
+    EXPECT_EQ(inst.memory, 4 * k);
+    // Chain-by-chain: 2k I/Os at peak 6k.
+    const auto r = simulate_fif(inst.tree, inst.annotated_schedule, inst.memory);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.io_volume, 2 * k) << "k=" << k;
+    EXPECT_EQ(core::peak_memory(inst.tree, inst.annotated_schedule), 6 * k);
+  }
+}
+
+TEST(Fig2c, OptMinMemPeakIsFiveK) {
+  for (const Weight k : {2, 3, 5}) {
+    const auto inst = fig2c(k);
+    EXPECT_EQ(core::opt_minmem(inst.tree).peak, 5 * k) << "k=" << k;
+  }
+}
+
+TEST(Fig2c, ChainByChainIsOptimalForSmallK) {
+  const auto inst = fig2c(2);  // 13 nodes: C(12,6) = 924 orders
+  const auto bf = core::brute_force_min_io(inst.tree, inst.memory, 13);
+  EXPECT_EQ(bf.objective, 2 * 2);
+}
+
+TEST(Fig2c, OptMinMemStrategyPaysMore) {
+  // Section 4.4: following the peak-minimizing traversal costs ~k(k+1)
+  // I/Os instead of 2k. Our OptMinMem returns *some* peak-5k schedule; it
+  // must pay strictly more than the optimum for every k tested.
+  for (const Weight k : {2, 3, 5, 8}) {
+    const auto inst = fig2c(k);
+    const auto opt_schedule = core::opt_minmem(inst.tree).schedule;
+    const Weight io = simulate_fif(inst.tree, opt_schedule, inst.memory).io_volume;
+    EXPECT_GT(io, 2 * k) << "k=" << k;
+  }
+}
+
+TEST(Fig2c, OptMinMemRatioGrows) {
+  // The competitive ratio (OptMinMem I/O) / (optimal I/O) grows with k.
+  double previous = 0.0;
+  for (const Weight k : {2, 4, 8, 16}) {
+    const auto inst = fig2c(k);
+    const auto opt_schedule = core::opt_minmem(inst.tree).schedule;
+    const Weight io = simulate_fif(inst.tree, opt_schedule, inst.memory).io_volume;
+    const double ratio = static_cast<double>(io) / static_cast<double>(2 * k);
+    EXPECT_GT(ratio, previous) << "k=" << k;
+    previous = ratio;
+  }
+  EXPECT_GE(previous, 4.0);
+}
+
+TEST(Fig6, AllClaims) {
+  const auto inst = treegen::fig6();
+  // OptMinMem peak is 12; the annotated order reaches it and pays 4 I/Os.
+  EXPECT_EQ(core::opt_minmem(inst.tree).peak, 12);
+  EXPECT_EQ(core::peak_memory(inst.tree, inst.annotated_schedule), 12);
+  EXPECT_EQ(simulate_fif(inst.tree, inst.annotated_schedule, inst.memory).io_volume, 4);
+  // The global optimum is 3 (all I/O on node b).
+  EXPECT_EQ(core::brute_force_min_io(inst.tree, inst.memory).objective, 3);
+  // POSTORDERMINIO pays 4 as well (it cannot split the left chain).
+  EXPECT_EQ(core::postorder_minio(inst.tree, inst.memory).predicted_io, 4);
+}
+
+TEST(Fig7, AllClaims) {
+  const auto inst = treegen::fig7();
+  // The annotated postorder is optimal with 3 I/Os on node c.
+  const auto r = simulate_fif(inst.tree, inst.annotated_schedule, inst.memory);
+  EXPECT_EQ(r.io_volume, 3);
+  EXPECT_EQ(r.io[1], 3) << "all I/O on node c";
+  EXPECT_EQ(core::brute_force_min_io(inst.tree, inst.memory).objective, 3);
+  EXPECT_EQ(core::postorder_minio(inst.tree, inst.memory).predicted_io, 3);
+  // The OptMinMem-based strategy pays 4.
+  const auto opt_schedule = core::opt_minmem(inst.tree).schedule;
+  EXPECT_EQ(simulate_fif(inst.tree, opt_schedule, inst.memory).io_volume, 4);
+}
+
+}  // namespace
+}  // namespace ooctree

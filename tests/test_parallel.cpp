@@ -1,0 +1,172 @@
+// Tests for the parallel out-of-core simulator (the paper's future-work
+// direction, Section 7).
+#include <gtest/gtest.h>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/parallel/parallel_sim.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::Tree;
+using core::Weight;
+using parallel::CostModel;
+using parallel::ParallelConfig;
+using parallel::ParallelResult;
+using parallel::Priority;
+using parallel::simulate_parallel;
+
+ParallelConfig config(int workers, Weight memory,
+                      Priority priority = Priority::kCriticalPath) {
+  ParallelConfig c;
+  c.workers = workers;
+  c.memory = memory;
+  c.priority = priority;
+  return c;
+}
+
+void expect_execution_is_consistent(const Tree& t, const ParallelResult& r, Weight memory,
+                                    int workers) {
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(core::is_topological_order(t, r.start_order));
+  EXPECT_LE(r.peak_resident, memory);
+  // Dependencies respected in time: a child finishes before its parent starts.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto id = static_cast<core::NodeId>(i);
+    if (t.parent(id) != core::kNoNode) {
+      EXPECT_LE(r.finish_time[i] - 1e-9,
+                r.start_time[static_cast<std::size_t>(t.parent(id))]);
+    }
+    EXPECT_GE(r.finish_time[i], r.start_time[i]);
+  }
+  // Never more than `workers` tasks overlap.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    int overlap = 0;
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      if (r.start_time[j] <= r.start_time[i] + 1e-9 &&
+          r.start_time[i] < r.finish_time[j] - 1e-9)
+        ++overlap;
+    }
+    EXPECT_LE(overlap, workers);
+  }
+  // Classic bounds.
+  EXPECT_GE(r.makespan + 1e-9, parallel::critical_path(t, CostModel::kWbar));
+  EXPECT_GE(r.makespan * workers + 1e-9, parallel::total_work(t, CostModel::kWbar));
+}
+
+TEST(Parallel, SingleWorkerSequentialOrderMatchesFif) {
+  // One worker following a sequential schedule is exactly the sequential
+  // model: identical I/O volume.
+  util::Rng rng(1301);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Tree t = test::small_random_tree(25, 12, rng);
+    const auto ref = core::opt_minmem(t).schedule;
+    const Weight m = t.min_feasible_memory() + 4;
+    const auto seq = core::simulate_fif(t, ref, m);
+    const auto par = simulate_parallel(t, config(1, m, Priority::kSequentialOrder), ref);
+    ASSERT_TRUE(par.feasible);
+    EXPECT_EQ(par.start_order, ref);
+    EXPECT_EQ(par.io_volume, seq.io_volume);
+  }
+}
+
+TEST(Parallel, ExecutionsAreConsistent) {
+  util::Rng rng(1307);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(40, 10, rng)
+                                  : test::small_random_wide_tree(40, 10, rng);
+    // Truly ample for *parallel* execution: all reservations plus all live
+    // outputs can coexist (sum of wbar over the tree). The sequential peak
+    // is NOT enough once several branches run concurrently.
+    Weight ample = 0;
+    for (std::size_t v = 0; v < t.size(); ++v) ample += t.wbar(static_cast<core::NodeId>(v));
+    for (const int workers : {1, 2, 4}) {
+      for (const Priority p :
+           {Priority::kCriticalPath, Priority::kHeaviestSubtree, Priority::kSequentialOrder}) {
+        const auto r = simulate_parallel(t, config(workers, ample, p));
+        expect_execution_is_consistent(t, r, ample, workers);
+        EXPECT_EQ(r.io_volume, 0) << "ample memory must need no I/O";
+      }
+    }
+  }
+}
+
+TEST(Parallel, TightMemoryStillFeasibleWithIo) {
+  util::Rng rng(1319);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree t = test::small_random_tree(30, 10, rng);
+    const Weight m = t.min_feasible_memory();
+    for (const int workers : {1, 2, 4}) {
+      const auto r = simulate_parallel(t, config(workers, m));
+      expect_execution_is_consistent(t, r, m, workers);
+    }
+  }
+}
+
+TEST(Parallel, MoreWorkersNeverIncreaseMakespanOnWideTree) {
+  // A star is embarrassingly parallel: makespan must shrink with workers
+  // when memory is ample.
+  const Tree star = treegen::star_tree(16, 3, 1);
+  const Weight ample = star.total_weight() * 2;
+  double previous = std::numeric_limits<double>::infinity();
+  for (const int workers : {1, 2, 4, 8}) {
+    const auto r = simulate_parallel(star, config(workers, ample));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.makespan, previous + 1e-9) << workers << " workers";
+    previous = r.makespan;
+  }
+}
+
+TEST(Parallel, ParallelismCostsIoUnderTightMemory) {
+  // The tension the paper's future work targets: with memory close to the
+  // sequential in-core peak, running several branches concurrently forces
+  // spills that one worker avoids. Aggregate over a batch.
+  util::Rng rng(1321);
+  Weight io_one = 0, io_four = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_tree(60, 20, rng);
+    const Weight m = core::opt_minmem(t).peak;
+    io_one += simulate_parallel(t, config(1, m, Priority::kSequentialOrder),
+                                core::opt_minmem(t).schedule)
+                  .io_volume;
+    io_four += simulate_parallel(t, config(4, m)).io_volume;
+  }
+  EXPECT_EQ(io_one, 0) << "one worker at the in-core peak needs no I/O";
+  EXPECT_GT(io_four, 0) << "four workers at the same bound must spill somewhere";
+}
+
+TEST(Parallel, UtilizationWithinBounds) {
+  util::Rng rng(1327);
+  const Tree t = test::small_random_tree(80, 10, rng);
+  const auto r = simulate_parallel(t, config(4, core::opt_minmem(t).peak + 50));
+  // A tight-ish bound: the run may spill but must stay consistent.
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.utilization(4), 0.0);
+  EXPECT_LE(r.utilization(4), 1.0 + 1e-9);
+}
+
+TEST(Parallel, InfeasibleBelowLb) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}, {0, 6}});
+  const auto r = simulate_parallel(t, config(2, 5));
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Parallel, RejectsBadConfig) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}});
+  EXPECT_THROW((void)simulate_parallel(t, config(0, 10)), std::invalid_argument);
+  EXPECT_THROW((void)simulate_parallel(t, config(2, 10), {0, 1}), std::invalid_argument);
+}
+
+TEST(Parallel, CriticalPathAndWork) {
+  const Tree chain = treegen::chain_tree({2, 3, 4});
+  EXPECT_DOUBLE_EQ(parallel::critical_path(chain, CostModel::kUnit), 3.0);
+  EXPECT_DOUBLE_EQ(parallel::total_work(chain, CostModel::kUnit), 3.0);
+  // wbar costs: leaf 4, mid max(3,4)=4, root max(2,3)=3 -> path 11.
+  EXPECT_DOUBLE_EQ(parallel::critical_path(chain, CostModel::kWbar), 11.0);
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,66 @@
+// Tests for performance-profile computation (Section 6.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/perf_profile.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::AlgorithmPerformance;
+using core::io_performance;
+using core::performance_profiles;
+using core::profile_at;
+
+TEST(PerfProfile, IoPerformanceDefinition) {
+  EXPECT_DOUBLE_EQ(io_performance(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(io_performance(10, 10), 2.0);
+  EXPECT_DOUBLE_EQ(io_performance(4, 1), 1.25);
+}
+
+TEST(PerfProfile, SingleAlgorithmIsAlwaysBest) {
+  const auto curves = performance_profiles({{"only", {1.0, 1.5, 2.0}}});
+  ASSERT_EQ(curves.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile_at(curves[0], 0.0), 1.0);
+}
+
+TEST(PerfProfile, TwoAlgorithms) {
+  // A best on 2 of 3 instances; B best on 1; B within 10% on one more.
+  const AlgorithmPerformance a{"A", {1.0, 1.0, 2.0}};
+  const AlgorithmPerformance b{"B", {1.05, 2.0, 1.0}};
+  const auto curves = performance_profiles({a, b});
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_NEAR(profile_at(curves[0], 0.0), 2.0 / 3.0, 1e-12);  // A best twice
+  EXPECT_NEAR(profile_at(curves[1], 0.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(profile_at(curves[1], 0.05), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(profile_at(curves[0], 1.0), 1.0, 1e-12);  // A within 100% everywhere
+  EXPECT_NEAR(profile_at(curves[1], 1.0), 1.0, 1e-12);
+}
+
+TEST(PerfProfile, CurvesAreMonotone) {
+  const auto curves = performance_profiles(
+      {{"A", {1.0, 1.4, 1.1, 3.0}}, {"B", {1.2, 1.0, 1.1, 1.0}}});
+  for (const auto& c : curves) {
+    for (std::size_t i = 0; i + 1 < c.fraction.size(); ++i) {
+      EXPECT_LE(c.fraction[i], c.fraction[i + 1]);
+      EXPECT_LT(c.overhead[i], c.overhead[i + 1]);
+    }
+    EXPECT_DOUBLE_EQ(c.fraction.back(), 1.0);
+    EXPECT_GE(c.overhead.front(), 0.0);
+  }
+}
+
+TEST(PerfProfile, TiesCountForBoth) {
+  const auto curves = performance_profiles({{"A", {1.0}}, {"B", {1.0}}});
+  EXPECT_DOUBLE_EQ(profile_at(curves[0], 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile_at(curves[1], 0.0), 1.0);
+}
+
+TEST(PerfProfile, RaggedInputThrows) {
+  EXPECT_THROW(performance_profiles({{"A", {1.0, 2.0}}, {"B", {1.0}}}), std::invalid_argument);
+  EXPECT_THROW(performance_profiles({{"A", {}}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

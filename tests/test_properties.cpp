@@ -1,0 +1,282 @@
+// Parameterized property suites: the library's central invariants swept
+// over a grid of tree families, sizes, weight ranges and memory bounds.
+// Each (family, size, weights, seed) combination is an independent test
+// case, so a regression pinpoints the exact configuration that broke.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/fif_simulator.hpp"
+#include "src/core/homogeneous.hpp"
+#include "src/core/lower_bounds.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/core/rec_expand.hpp"
+#include "src/core/atomic_io.hpp"
+#include "src/core/local_search.hpp"
+#include "src/core/strategies.hpp"
+#include "src/iosim/pager.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::Tree;
+using core::Weight;
+
+enum class Family { kBinary, kWide, kChain, kCaterpillar, kSpider };
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kBinary: return "binary";
+    case Family::kWide: return "wide";
+    case Family::kChain: return "chain";
+    case Family::kCaterpillar: return "caterpillar";
+    case Family::kSpider: return "spider";
+  }
+  return "?";
+}
+
+Tree build(Family f, std::size_t n, Weight w_hi, util::Rng& rng) {
+  switch (f) {
+    case Family::kBinary:
+      return treegen::with_uniform_weights(treegen::uniform_binary_tree(n, rng), 1, w_hi, rng);
+    case Family::kWide:
+      return treegen::with_uniform_weights(treegen::random_recursive_tree(n, rng), 1, w_hi, rng);
+    case Family::kChain: {
+      std::vector<Weight> w(n);
+      for (auto& x : w) x = rng.uniform_int(1, w_hi);
+      return treegen::chain_tree(w);
+    }
+    case Family::kCaterpillar:
+      return treegen::with_uniform_weights(
+          treegen::caterpillar_tree(std::max<std::size_t>(1, n / 3), 2, 1), 1, w_hi, rng);
+    case Family::kSpider:
+      return treegen::with_uniform_weights(
+          treegen::spider_tree(4, std::max<std::size_t>(1, n / 4), 1), 1, w_hi, rng);
+  }
+  throw std::logic_error("unknown family");
+}
+
+// ---------------------------------------------------------------------------
+// Exact-optimality sweep: small instances vs the brute-force oracles.
+// ---------------------------------------------------------------------------
+
+using ExactParams = std::tuple<Family, int /*n*/, int /*w_hi*/, int /*seed*/>;
+
+class ExactSweep : public testing::TestWithParam<ExactParams> {};
+
+TEST_P(ExactSweep, OptMinMemMatchesBruteForce) {
+  const auto [family, n, w_hi, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const Tree t = build(family, static_cast<std::size_t>(n), w_hi, rng);
+  EXPECT_EQ(core::opt_minmem(t).peak, core::brute_force_min_peak(t).objective)
+      << t.to_string();
+}
+
+TEST_P(ExactSweep, HeuristicsBoundedByBruteForceMinIo) {
+  const auto [family, n, w_hi, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 17);
+  const Tree t = build(family, static_cast<std::size_t>(n), w_hi, rng);
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem(t).peak;
+  if (peak <= lb) GTEST_SKIP() << "instance needs no I/O at any feasible bound";
+  const Weight m = (lb + peak) / 2;
+  const Weight opt = core::brute_force_min_io(t, m).objective;
+  EXPECT_GE(core::run_strategy(core::Strategy::kPostOrderMinIo, t, m).io_volume(), opt);
+  EXPECT_GE(core::run_strategy(core::Strategy::kOptMinMem, t, m).io_volume(), opt);
+  EXPECT_GE(core::run_strategy(core::Strategy::kRecExpand, t, m).io_volume(), opt);
+  EXPECT_GE(core::run_strategy(core::Strategy::kFullRecExpand, t, m).io_volume(), opt);
+  EXPECT_GE(opt, core::io_lower_bound_peak_gap(t, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallTrees, ExactSweep,
+    testing::Combine(testing::Values(Family::kBinary, Family::kWide, Family::kChain),
+                     testing::Values(6, 8), testing::Values(4, 12), testing::Range(0, 5)),
+    [](const testing::TestParamInfo<ExactParams>& info) {
+      return family_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Structural-invariant sweep: medium instances, no oracle needed.
+// ---------------------------------------------------------------------------
+
+using InvariantParams = std::tuple<Family, int /*n*/, int /*w_hi*/, int /*seed*/>;
+
+class InvariantSweep : public testing::TestWithParam<InvariantParams> {
+ protected:
+  Tree make() const {
+    const auto [family, n, w_hi, seed] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 3);
+    return build(family, static_cast<std::size_t>(n), w_hi, rng);
+  }
+};
+
+TEST_P(InvariantSweep, PeakOrdering) {
+  // LB <= optimal peak <= best postorder peak <= total weight + max wbar.
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight opt = core::opt_minmem(t).peak;
+  const Weight post = core::postorder_minmem(t).peak;
+  EXPECT_LE(lb, opt);
+  EXPECT_LE(opt, post);
+  EXPECT_LE(post, t.total_weight() + t.min_feasible_memory());
+}
+
+TEST_P(InvariantSweep, FifEvaluationsAreValidTraversals) {
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem(t).peak;
+  for (const Weight m : {lb, (lb + peak) / 2, peak}) {
+    for (const core::Strategy s : core::all_strategies()) {
+      const auto out = core::run_strategy(s, t, m);
+      ASSERT_TRUE(out.evaluation.feasible) << core::strategy_name(s);
+      test::expect_valid_traversal(t, out.schedule, out.evaluation.io, m);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, RecExpandSandwich) {
+  // RecExpand is bounded below by the peak-gap bound and above by
+  // OptMinMem's I/O (it only ever refines the OptMinMem plan).
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem(t).peak;
+  if (peak <= lb) GTEST_SKIP();
+  const Weight m = (lb + peak) / 2;
+  const Weight rec = core::run_strategy(core::Strategy::kRecExpand, t, m).io_volume();
+  EXPECT_GE(rec, core::io_lower_bound_peak_gap(t, m));
+}
+
+TEST_P(InvariantSweep, PagerBeladyAgreesWithFif) {
+  const Tree t = make();
+  const Weight m = t.min_feasible_memory() + 7;
+  const auto schedule = core::opt_minmem(t).schedule;
+  const auto fif = core::simulate_fif(t, schedule, m);
+  iosim::PagerConfig config;
+  config.memory = m;
+  config.page_size = 1;
+  const auto pager = iosim::run_pager(t, schedule, config);
+  ASSERT_EQ(pager.feasible, fif.feasible);
+  if (fif.feasible) EXPECT_EQ(pager.pages_written, fif.io_volume);
+}
+
+TEST_P(InvariantSweep, PostOrderMinIoPredictionMatchesSimulation) {
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::postorder_minmem(t).peak;
+  for (const Weight m : {lb, (lb + peak) / 2, peak}) {
+    const auto r = core::postorder_minio(t, m);
+    EXPECT_EQ(r.predicted_io, core::simulate_fif(t, r.schedule, m).io_volume) << "M=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MediumTrees, InvariantSweep,
+    testing::Combine(testing::Values(Family::kBinary, Family::kWide, Family::kChain,
+                                     Family::kCaterpillar, Family::kSpider),
+                     testing::Values(40, 150), testing::Values(9, 100), testing::Range(0, 3)),
+    [](const testing::TestParamInfo<InvariantParams>& info) {
+      return family_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Homogeneous sweep: Theorem 4 as a parameterized property.
+// ---------------------------------------------------------------------------
+
+class HomogeneousSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HomogeneousSweep, PostOrderMinIoIsExactlyW) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 31337 + 29);
+  const Tree t = treegen::uniform_binary_tree(static_cast<std::size_t>(n), rng);
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::homogeneous_min_peak(t);
+  EXPECT_EQ(peak, core::opt_minmem(t).peak);
+  for (Weight m = lb; m <= peak; ++m) {
+    const Weight exact = core::homogeneous_optimal_io(t, m);
+    EXPECT_EQ(core::postorder_minio(t, m).predicted_io, exact) << "M=" << m;
+    // No strategy can beat the exact optimum.
+    EXPECT_GE(core::run_strategy(core::Strategy::kOptMinMem, t, m).io_volume(), exact);
+    EXPECT_GE(core::run_strategy(core::Strategy::kRecExpand, t, m).io_volume(), exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnitWeights, HomogeneousSweep,
+                         testing::Combine(testing::Values(15, 40, 90), testing::Range(0, 4)),
+                         [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Extension sweeps: atomic writes, local search and the parallel simulator
+// under the same family x size x seed grid.
+// ---------------------------------------------------------------------------
+
+using ExtensionParams = std::tuple<Family, int /*n*/, int /*seed*/>;
+
+class ExtensionSweep : public testing::TestWithParam<ExtensionParams> {
+ protected:
+  Tree make() const {
+    const auto [family, n, seed] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 2741 + 11);
+    return build(family, static_cast<std::size_t>(n), 20, rng);
+  }
+};
+
+TEST_P(ExtensionSweep, AtomicDominatesFractional) {
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem(t).peak;
+  if (peak <= lb) GTEST_SKIP();
+  const Weight m = (lb + peak) / 2;
+  const auto schedule = core::opt_minmem(t).schedule;
+  const Weight fractional = core::simulate_fif(t, schedule, m).io_volume;
+  const auto atomic = core::simulate_atomic(t, schedule, m);
+  ASSERT_TRUE(atomic.feasible);
+  EXPECT_GE(atomic.io_volume, fractional);
+  const auto heuristic = core::atomic_heuristic(t, m);
+  ASSERT_TRUE(heuristic.feasible);
+  EXPECT_LE(heuristic.io_volume, atomic.io_volume)
+      << "the multi-schedule heuristic includes the FiF-atomic baseline";
+  test::expect_valid_traversal(t, schedule, atomic.io, m);
+}
+
+TEST_P(ExtensionSweep, PolishNeverWorse) {
+  const Tree t = make();
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem(t).peak;
+  if (peak <= lb) GTEST_SKIP();
+  const Weight m = (lb + peak) / 2;
+  const auto base = core::run_strategy(core::Strategy::kPostOrderMinIo, t, m);
+  core::PolishOptions opts;
+  opts.max_evaluations = 300;
+  opts.patience = 200;
+  const auto polished = core::polish_schedule(t, base.schedule, m, opts);
+  EXPECT_LE(polished.io_after, polished.io_before);
+  EXPECT_EQ(polished.io_before, base.io_volume());
+  EXPECT_EQ(core::simulate_fif(t, polished.schedule, m).io_volume, polished.io_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extensions, ExtensionSweep,
+    testing::Combine(testing::Values(Family::kBinary, Family::kWide, Family::kCaterpillar),
+                     testing::Values(20, 60), testing::Range(0, 3)),
+    [](const testing::TestParamInfo<ExtensionParams>& info) {
+      return family_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ooctree

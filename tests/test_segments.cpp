@@ -1,0 +1,90 @@
+// Tests for the hill-valley decomposition utility.
+#include <gtest/gtest.h>
+
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/segments.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::hill_valley_decomposition;
+using core::hill_valley_pairs;
+using core::Tree;
+using core::Weight;
+
+TEST(Segments, NormalizationInvariants) {
+  util::Rng rng(1701);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(25, 15, rng)
+                                  : test::small_random_wide_tree(25, 15, rng);
+    for (const auto& schedule : {t.postorder(), core::opt_minmem(t).schedule}) {
+      const auto segments = hill_valley_decomposition(t, schedule);
+      ASSERT_FALSE(segments.empty());
+      for (std::size_t s = 0; s + 1 < segments.size(); ++s) {
+        EXPECT_GT(segments[s].hill, segments[s + 1].hill);
+        EXPECT_LT(segments[s].valley, segments[s + 1].valley);
+        EXPECT_LT(segments[s].end, segments[s + 1].end);
+      }
+      EXPECT_EQ(segments.back().end, t.size());
+      EXPECT_EQ(segments.back().valley, t.weight(t.root()));
+      // The first hill is the schedule's peak memory.
+      Weight max_hill = 0;
+      for (const auto& s : segments) max_hill = std::max(max_hill, s.hill);
+      EXPECT_EQ(segments.front().hill, max_hill);
+      EXPECT_EQ(max_hill, core::peak_memory(t, schedule));
+    }
+  }
+}
+
+TEST(Segments, MatchesOptMinMemCertificate) {
+  // The decomposition of OptMinMem's own schedule must reproduce the
+  // segment certificate the algorithm built internally.
+  util::Rng rng(1709);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = test::small_random_tree(20, 12, rng);
+    const auto opt = core::opt_minmem(t);
+    EXPECT_EQ(hill_valley_pairs(t, opt.schedule), opt.segments) << t.to_string();
+  }
+}
+
+TEST(Segments, ChainCollapsesToOneSegment) {
+  // A monotone chain profile has a single hill and valley.
+  const Tree chain = treegen::chain_tree({1, 2, 3, 4, 5});
+  const auto segments = hill_valley_decomposition(chain, chain.postorder());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].hill, 5);
+  EXPECT_EQ(segments[0].valley, 1);
+}
+
+TEST(Segments, DecreasingHillsGiveMultipleSegments) {
+  // Hills must decrease and valleys increase for a cut to survive:
+  //   root(6) <- A(2) <- leafA(9);  root <- B(3) <- leafB(5)
+  // processed A chain, B chain, root gives hills 9, 7, 6 over valleys
+  // 2, 5, 6 — three segments.
+  const Tree t = core::make_tree({{core::kNoNode, 6}, {0, 2}, {1, 9}, {0, 3}, {3, 5}});
+  const core::Schedule s{2, 1, 4, 3, 0};
+  const auto segments = hill_valley_pairs(t, s);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0], (std::pair<Weight, Weight>{9, 2}));  // A chain
+  EXPECT_EQ(segments[1], (std::pair<Weight, Weight>{7, 5}));  // B chain on top of A's output
+  EXPECT_EQ(segments[2], (std::pair<Weight, Weight>{6, 6}));  // the root itself
+}
+
+TEST(Segments, EarlierSmallerHillsMergeIntoThePeak) {
+  // The canonical decomposition never cuts before the global peak: a small
+  // first chain followed by a bigger one collapses to one segment.
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 2}, {1, 9}, {0, 3}, {3, 8}});
+  const auto segments = hill_valley_pairs(t, {2, 1, 4, 3, 0});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].first, 10);  // global peak: leafB with A's output live
+  EXPECT_EQ(segments[0].second, 1);  // the root's output
+}
+
+TEST(Segments, RejectsBadSchedule) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}});
+  EXPECT_THROW((void)hill_valley_decomposition(t, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,52 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+#include "src/treegen/catalan.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/treegen/shapes.hpp"
+#include "src/treegen/weights.hpp"
+#include "src/util/rng.hpp"
+
+namespace ooctree::test {
+
+/// A small random tree: uniform binary shape (exact Catalan sampling) with
+/// weights uniform in [1, w_hi].
+inline core::Tree small_random_tree(std::size_t n, core::Weight w_hi, util::Rng& rng) {
+  // Exact Catalan sampling tops out at n = 65 (128-bit counts); beyond
+  // that the O(n) Rémy-based sampler is just as uniform.
+  const core::Tree shape = n <= 60 ? treegen::uniform_binary_tree_exact(n, rng)
+                                   : treegen::uniform_binary_tree(n, rng);
+  return treegen::with_uniform_weights(shape, 1, w_hi, rng);
+}
+
+/// A random tree with unbounded degree (recursive attachment), weights in
+/// [1, w_hi] — exercises high fan-in nodes the binary sampler cannot reach.
+inline core::Tree small_random_wide_tree(std::size_t n, core::Weight w_hi, util::Rng& rng) {
+  const core::Tree shape = treegen::random_recursive_tree(n, rng);
+  return treegen::with_uniform_weights(shape, 1, w_hi, rng);
+}
+
+/// Asserts that (schedule, io) is a valid traversal under `memory`.
+inline void expect_valid_traversal(const core::Tree& tree, const core::Schedule& schedule,
+                                   const core::IoFunction& io, core::Weight memory) {
+  const auto problem = core::validate_traversal(tree, schedule, io, memory);
+  EXPECT_FALSE(problem.has_value()) << *problem;
+}
+
+/// FiF-evaluates a schedule and asserts the result is a valid traversal.
+inline core::Weight checked_fif_io(const core::Tree& tree, const core::Schedule& schedule,
+                                   core::Weight memory) {
+  const core::FifResult r = core::simulate_fif(tree, schedule, memory);
+  EXPECT_TRUE(r.feasible);
+  expect_valid_traversal(tree, schedule, r.io, memory);
+  return r.io_volume;
+}
+
+}  // namespace ooctree::test

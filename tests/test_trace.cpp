@@ -1,0 +1,96 @@
+// Tests for execution tracing and the disk time model.
+#include <gtest/gtest.h>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/iosim/trace.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::Tree;
+using core::Weight;
+using iosim::trace_execution;
+using iosim::TraceEvent;
+
+TEST(Trace, AgreesWithFifSimulator) {
+  util::Rng rng(1401);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(15, 12, rng)
+                                  : test::small_random_wide_tree(15, 12, rng);
+    const auto schedule = core::opt_minmem(t).schedule;
+    for (const Weight m :
+         {t.min_feasible_memory(), t.min_feasible_memory() + 5}) {
+      const auto fif = core::simulate_fif(t, schedule, m);
+      const auto trace = trace_execution(t, schedule, m);
+      ASSERT_EQ(trace.feasible, fif.feasible);
+      if (!fif.feasible) continue;
+      EXPECT_EQ(trace.written, fif.io_volume);
+      EXPECT_EQ(trace.read, fif.io_volume) << "every write is read back";
+      EXPECT_EQ(trace.peak_resident, fif.peak_resident);
+    }
+  }
+}
+
+TEST(Trace, EventsAreComplete) {
+  util::Rng rng(1409);
+  const Tree t = test::small_random_tree(20, 10, rng);
+  const Weight m = t.min_feasible_memory() + 2;
+  const auto trace = trace_execution(t, t.postorder(), m);
+  ASSERT_TRUE(trace.feasible);
+  std::size_t computes = 0;
+  Weight written = 0, read = 0;
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kCompute: ++computes; break;
+      case TraceEvent::Kind::kWrite: written += e.amount; break;
+      case TraceEvent::Kind::kRead: read += e.amount; break;
+    }
+    EXPECT_GT(e.amount, 0);
+    EXPECT_LE(e.resident_after, m + t.min_feasible_memory());
+  }
+  EXPECT_EQ(computes, t.size());
+  EXPECT_EQ(written, trace.written);
+  EXPECT_EQ(read, trace.read);
+}
+
+TEST(Trace, ResidentNeverExceedsMemoryAtWrites) {
+  util::Rng rng(1423);
+  const Tree t = test::small_random_tree(25, 15, rng);
+  const Weight m = t.min_feasible_memory() + 3;
+  const auto trace = trace_execution(t, core::opt_minmem(t).schedule, m);
+  ASSERT_TRUE(trace.feasible);
+  EXPECT_LE(trace.peak_resident, m);
+}
+
+TEST(Trace, DiskModelArithmetic) {
+  iosim::DiskModel disk;
+  disk.latency_s = 0.001;
+  disk.bandwidth_per_s = 1000.0;
+  EXPECT_DOUBLE_EQ(disk.transfer_time(500, 2), 0.002 + 0.5);
+
+  iosim::ExecutionTrace trace;
+  trace.events.push_back({TraceEvent::Kind::kWrite, 0, 0, 300, 0});
+  trace.events.push_back({TraceEvent::Kind::kRead, 1, 0, 300, 0});
+  trace.events.push_back({TraceEvent::Kind::kCompute, 1, 1, 10, 0});
+  EXPECT_DOUBLE_EQ(iosim::io_time(trace, disk), 0.002 + 600.0 / 1000.0);
+}
+
+TEST(Trace, FormatContainsStepsAndTotals) {
+  util::Rng rng(1427);
+  const Tree t = test::small_random_tree(10, 10, rng);
+  const Weight m = t.min_feasible_memory() + 1;
+  const auto trace = trace_execution(t, t.postorder(), m);
+  const std::string text = iosim::format_trace(t, trace, m);
+  EXPECT_NE(text.find("written"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Trace, RejectsBadSchedule) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 5}});
+  EXPECT_THROW((void)trace_execution(t, {0, 1}, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,124 @@
+// Tests for schedules, validity conditions and in-core memory profiles
+// (paper, Section 3.1).
+#include <gtest/gtest.h>
+
+#include "src/core/traversal.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::kNoNode;
+using core::make_tree;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+
+// Chain 0 <- 1 <- 2 (leaf), weights 2, 3, 4.
+Tree chain3() { return make_tree({{kNoNode, 2}, {0, 3}, {1, 4}}); }
+
+TEST(Traversal, TopologicalOrderAccepts) {
+  const Tree t = chain3();
+  EXPECT_TRUE(core::is_topological_order(t, {2, 1, 0}));
+}
+
+TEST(Traversal, TopologicalOrderRejects) {
+  const Tree t = chain3();
+  EXPECT_FALSE(core::is_topological_order(t, {0, 1, 2}));   // parent first
+  EXPECT_FALSE(core::is_topological_order(t, {2, 1}));      // wrong length
+  EXPECT_FALSE(core::is_topological_order(t, {2, 2, 0}));   // duplicate
+  EXPECT_FALSE(core::is_topological_order(t, {2, 0, 1}));   // 0 before child 1
+}
+
+TEST(Traversal, MemoryProfileOfChain) {
+  const Tree t = chain3();
+  // leaf 2: mem 4; node 1: max(3, 4) = 4; node 0: max(2, 3) = 3.
+  EXPECT_EQ(core::memory_profile(t, {2, 1, 0}), (std::vector<Weight>{4, 4, 3}));
+  EXPECT_EQ(core::peak_memory(t, {2, 1, 0}), 4);
+}
+
+TEST(Traversal, MemoryProfileWithSiblings) {
+  //     0(1)
+  //    /    \
+  //  1(5)   2(6)
+  const Tree t = make_tree({{kNoNode, 1}, {0, 5}, {0, 6}});
+  // Execute 1 then 2: profiles 5, then 5 + 6 = 11; root: max(1, 11) = 11.
+  EXPECT_EQ(core::memory_profile(t, {1, 2, 0}), (std::vector<Weight>{5, 11, 11}));
+  EXPECT_EQ(core::peak_memory(t, {1, 2, 0}), 11);
+}
+
+TEST(Traversal, ValidateAcceptsInCoreRun) {
+  const Tree t = chain3();
+  const core::IoFunction no_io(t.size(), 0);
+  EXPECT_FALSE(core::validate_traversal(t, {2, 1, 0}, no_io, 4).has_value());
+}
+
+TEST(Traversal, ValidateRejectsTooSmallMemory) {
+  const Tree t = chain3();
+  const core::IoFunction no_io(t.size(), 0);
+  const auto problem = core::validate_traversal(t, {2, 1, 0}, no_io, 3);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("memory exceeded"), std::string::npos);
+}
+
+TEST(Traversal, ValidateAcceptsWithIo) {
+  //     0(1)
+  //    /    \
+  //  1(5)   2(6)   M = 8: writing 3 units of node 1 makes step 2 fit
+  //  (during node 2: active 5-3=2 plus wbar 6 = 8), and children are read
+  //  back for the root (wbar(0) = 11 > 8)... so M=8 is infeasible overall.
+  const Tree t = make_tree({{kNoNode, 1}, {0, 5}, {0, 6}});
+  core::IoFunction io(t.size(), 0);
+  io[1] = 3;
+  // wbar(root) = 11 > 8: invalid whatever tau is.
+  EXPECT_TRUE(core::validate_traversal(t, {1, 2, 0}, io, 8).has_value());
+  // With M = 11 and tau = 0 everything fits.
+  EXPECT_FALSE(core::validate_traversal(t, {1, 2, 0}, core::IoFunction(t.size(), 0), 11)
+                   .has_value());
+}
+
+TEST(Traversal, ValidatePartialIoExactBudget) {
+  // Chain with a side datum: 0(2) <- {1(3), 2(2)}; 1 <- 3(4 leaf).
+  //      executing 3 (w4), then 2 (w2), then 1, then 0.
+  const Tree t = make_tree({{kNoNode, 2}, {0, 3}, {0, 2}, {1, 4}});
+  // At step of node 2 (wbar 2), active: 3 (w 4). M = 5 requires tau(3) >= 1.
+  core::IoFunction io(t.size(), 0);
+  const Schedule s{3, 2, 1, 0};
+  EXPECT_TRUE(core::validate_traversal(t, s, io, 5).has_value());
+  io[3] = 1;
+  // Now step 2: active 4-1=3 + wbar 2 = 5 fits; step 1 (wbar(1)=max(3,4)=4):
+  // active = {2: w2}: 2+4 = 6 > 5 -> still invalid.
+  EXPECT_TRUE(core::validate_traversal(t, s, io, 5).has_value());
+  io[2] = 1;
+  // Step 1: active 2-1=1 + 4 = 5 fits; root: active {} children 3+2 = 5 = wbar.
+  EXPECT_FALSE(core::validate_traversal(t, s, io, 5).has_value());
+}
+
+TEST(Traversal, ValidateRejectsTauOutOfRange) {
+  const Tree t = chain3();
+  core::IoFunction io(t.size(), 0);
+  io[2] = 5;  // w(2) = 4
+  EXPECT_TRUE(core::validate_traversal(t, {2, 1, 0}, io, 100).has_value());
+  io[2] = -1;
+  EXPECT_TRUE(core::validate_traversal(t, {2, 1, 0}, io, 100).has_value());
+}
+
+TEST(Traversal, IoVolumeSums) {
+  core::Traversal tr;
+  tr.io = {0, 3, 2, 0};
+  EXPECT_EQ(tr.io_volume(), 5);
+}
+
+TEST(Traversal, PeakMemoryMatchesProfileMax) {
+  util::Rng rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = test::small_random_tree(9, 10, rng);
+    const auto order = t.postorder();
+    const auto profile = core::memory_profile(t, order);
+    EXPECT_EQ(core::peak_memory(t, order),
+              *std::max_element(profile.begin(), profile.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,167 @@
+// Unit tests for the core Tree data structure and its serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/tree.hpp"
+#include "src/core/tree_io.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::kNoNode;
+using core::make_tree;
+using core::NodeId;
+using core::Tree;
+using core::Weight;
+
+Tree sample_tree() {
+  //        0 (w 5)
+  //       /      \
+  //      1 (3)    2 (4)
+  //     /  \        \
+  //    3(2) 4(7)     5(1)
+  return make_tree({{kNoNode, 5}, {0, 3}, {0, 4}, {1, 2}, {1, 7}, {2, 1}});
+}
+
+TEST(Tree, BasicAccessors) {
+  const Tree t = sample_tree();
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.weight(4), 7);
+  EXPECT_EQ(t.parent(5), 2);
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_FALSE(t.is_leaf(1));
+  EXPECT_EQ(t.num_children(0), 2u);
+  EXPECT_EQ(t.total_weight(), 5 + 3 + 4 + 2 + 7 + 1);
+}
+
+TEST(Tree, ChildrenAreSortedById) {
+  const Tree t = sample_tree();
+  const auto kids = t.children(1);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], 3);
+  EXPECT_EQ(kids[1], 4);
+}
+
+TEST(Tree, WbarIsMaxOfOutputAndChildrenSum) {
+  const Tree t = sample_tree();
+  EXPECT_EQ(t.child_weight_sum(1), 2 + 7);
+  EXPECT_EQ(t.wbar(1), 9);   // children 9 > own 3
+  EXPECT_EQ(t.wbar(2), 4);   // own 4 > child 1
+  EXPECT_EQ(t.wbar(3), 2);   // leaf: own weight
+  EXPECT_EQ(t.wbar(0), 7);   // children 3+4 = 7 > own 5
+  EXPECT_EQ(t.min_feasible_memory(), 9);
+}
+
+TEST(Tree, PostorderVisitsChildrenFirst) {
+  const Tree t = sample_tree();
+  const auto order = t.postorder();
+  ASSERT_EQ(order.size(), t.size());
+  std::vector<std::size_t> pos(t.size());
+  for (std::size_t k = 0; k < order.size(); ++k) pos[static_cast<std::size_t>(order[k])] = k;
+  for (NodeId i = 0; i < static_cast<NodeId>(t.size()); ++i) {
+    if (t.parent(i) != kNoNode)
+      EXPECT_LT(pos[static_cast<std::size_t>(i)], pos[static_cast<std::size_t>(t.parent(i))]);
+  }
+  EXPECT_EQ(order.back(), t.root());
+}
+
+TEST(Tree, SubtreeExtraction) {
+  const Tree t = sample_tree();
+  std::vector<NodeId> old_ids;
+  const Tree sub = t.subtree(1, &old_ids);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.weight(sub.root()), 3);
+  // Weights of the original subtree nodes are preserved via the map.
+  Weight total = 0;
+  for (std::size_t k = 0; k < sub.size(); ++k) {
+    EXPECT_EQ(sub.weight(static_cast<NodeId>(k)), t.weight(old_ids[k]));
+    total += sub.weight(static_cast<NodeId>(k));
+  }
+  EXPECT_EQ(total, 3 + 2 + 7);
+}
+
+TEST(Tree, SubtreeSizeAndDepth) {
+  const Tree t = sample_tree();
+  EXPECT_EQ(t.subtree_size(0), 6u);
+  EXPECT_EQ(t.subtree_size(1), 3u);
+  EXPECT_EQ(t.subtree_size(3), 1u);
+  EXPECT_EQ(t.depth(), 3u);
+}
+
+TEST(Tree, DeepChainDoesNotOverflowStack) {
+  const std::size_t n = 200000;
+  std::vector<NodeId> parent(n, kNoNode);
+  for (std::size_t i = 1; i < n; ++i) parent[i] = static_cast<NodeId>(i - 1);
+  const Tree chain = Tree::from_parents(std::move(parent), std::vector<Weight>(n, 1));
+  EXPECT_EQ(chain.depth(), n);
+  EXPECT_EQ(chain.postorder().size(), n);
+}
+
+TEST(Tree, RejectsMultipleRoots) {
+  EXPECT_THROW(make_tree({{kNoNode, 1}, {kNoNode, 1}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsCycle) {
+  // 0 -> 1 -> 0 cycle plus a root elsewhere.
+  EXPECT_THROW(make_tree({{1, 1}, {0, 1}, {kNoNode, 1}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsSelfParentAndBadIndex) {
+  EXPECT_THROW(make_tree({{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(make_tree({{kNoNode, 1}, {7, 1}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsNegativeWeight) {
+  EXPECT_THROW(make_tree({{kNoNode, -2}}), std::invalid_argument);
+}
+
+TEST(Tree, RejectsEmpty) {
+  EXPECT_THROW(Tree::from_parents({}, {}), std::invalid_argument);
+}
+
+TEST(Tree, SingleNode) {
+  const Tree t = make_tree({{kNoNode, 42}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.wbar(0), 42);
+  EXPECT_TRUE(t.is_leaf(0));
+}
+
+TEST(Tree, IsHomogeneous) {
+  EXPECT_TRUE(make_tree({{kNoNode, 1}, {0, 1}}).is_homogeneous());
+  EXPECT_FALSE(sample_tree().is_homogeneous());
+}
+
+TEST(TreeIo, RoundTrip) {
+  const Tree t = sample_tree();
+  std::ostringstream out;
+  core::write_tree(out, t);
+  std::istringstream in(out.str());
+  const Tree back = core::read_tree(in);
+  ASSERT_EQ(back.size(), t.size());
+  for (NodeId i = 0; i < static_cast<NodeId>(t.size()); ++i) {
+    EXPECT_EQ(back.parent(i), t.parent(i));
+    EXPECT_EQ(back.weight(i), t.weight(i));
+  }
+}
+
+TEST(TreeIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n-1 4\n0 2  # trailing comment\n0 3\n");
+  const Tree t = core::read_tree(in);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.weight(1), 2);
+}
+
+TEST(TreeIo, RejectsGarbage) {
+  std::istringstream missing_weight("-1\n");
+  EXPECT_THROW(core::read_tree(missing_weight), std::runtime_error);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW(core::read_tree(empty), std::runtime_error);
+  std::istringstream cyclic("-1 1\n2 1\n1 1\n");
+  EXPECT_THROW(core::read_tree(cyclic), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ooctree
