@@ -24,14 +24,14 @@ int main() {
   // and the size of its output datum.
   //
   //            0 (w 1)
-  //          /         \
-  //       1 (3)         5 (3)
-  //         |             |
-  //       2 (5)         6 (5)
-  //         |             |
-  //       3 (2)         7 (2)
-  //         |             |
-  //       4 (6)         8 (6)
+  //          __/ \__
+  //       1 (3)     5 (3)
+  //         |         |
+  //       2 (5)     6 (5)
+  //         |         |
+  //       3 (2)     7 (2)
+  //         |         |
+  //       4 (6)     8 (6)
   const core::Tree tree = core::make_tree({
       {kNoNode, 1},
       {0, 3}, {1, 5}, {2, 2}, {3, 6},

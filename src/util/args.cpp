@@ -34,7 +34,10 @@ std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
   try {
-    return std::stoll(it->second);
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
     throw std::runtime_error("option --" + name + " expects an integer, got '" + it->second + "'");
   }
@@ -44,7 +47,10 @@ double Args::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
   try {
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
     throw std::runtime_error("option --" + name + " expects a number, got '" + it->second + "'");
   }

@@ -125,9 +125,10 @@ TEST(Theorem2, ZeroTauEquivalentToOptMinMem) {
     const Tree t = test::small_random_tree(10, 8, rng);
     const Weight peak = core::opt_minmem(t).peak;
     EXPECT_TRUE(core::schedule_from_io(t, core::IoFunction(t.size(), 0), peak).has_value());
-    if (peak > t.min_feasible_memory())
+    if (peak > t.min_feasible_memory()) {
       EXPECT_FALSE(
           core::schedule_from_io(t, core::IoFunction(t.size(), 0), peak - 1).has_value());
+    }
   }
 }
 

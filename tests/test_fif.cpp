@@ -30,8 +30,9 @@ TEST(Fif, IoIsZeroIffPeakFits) {
     const Schedule order = t.postorder();
     const Weight peak = core::peak_memory(t, order);
     EXPECT_EQ(simulate_fif(t, order, peak).io_volume, 0);
-    if (peak > t.min_feasible_memory())
+    if (peak > t.min_feasible_memory()) {
       EXPECT_GT(simulate_fif(t, order, peak - 1).io_volume, 0);
+    }
   }
 }
 

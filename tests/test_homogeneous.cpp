@@ -100,7 +100,9 @@ TEST(Homogeneous, ZeroIoAtPeakMemory) {
     const Tree t = treegen::uniform_binary_tree_exact(12, rng);
     const Weight peak = core::homogeneous_min_peak(t);
     EXPECT_EQ(homogeneous_optimal_io(t, peak), 0);
-    if (peak > t.min_feasible_memory()) EXPECT_GT(homogeneous_optimal_io(t, peak - 1), 0);
+    if (peak > t.min_feasible_memory()) {
+      EXPECT_GT(homogeneous_optimal_io(t, peak - 1), 0);
+    }
   }
 }
 

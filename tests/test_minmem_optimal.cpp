@@ -128,8 +128,9 @@ TEST(OptMinMem, AllPeaksMatchPerSubtreeRuns) {
     std::vector<core::NodeId> old_ids;
     const Tree sub = t.subtree(id, &old_ids);
     EXPECT_EQ(peaks[i], opt_minmem(sub).peak) << "subtree rooted at " << id;
-    if (t.parent(id) != kNoNode)
+    if (t.parent(id) != kNoNode) {
       EXPECT_LE(peaks[i], peaks[static_cast<std::size_t>(t.parent(id))]) << "peak monotonicity";
+    }
   }
 }
 

@@ -94,8 +94,9 @@ TEST(PostOrderMinMem, StorageIsMonotone) {
   const auto r = postorder_minmem(t);
   for (std::size_t i = 0; i < t.size(); ++i) {
     const auto id = static_cast<core::NodeId>(i);
-    if (t.parent(id) != kNoNode)
+    if (t.parent(id) != kNoNode) {
       EXPECT_LE(r.storage[i], r.storage[static_cast<std::size_t>(t.parent(id))]);
+    }
     EXPECT_GE(r.storage[i], t.wbar(id));
   }
 }

@@ -164,7 +164,9 @@ TEST_P(InvariantSweep, PagerBeladyAgreesWithFif) {
   config.page_size = 1;
   const auto pager = iosim::run_pager(t, schedule, config);
   ASSERT_EQ(pager.feasible, fif.feasible);
-  if (fif.feasible) EXPECT_EQ(pager.pages_written, fif.io_volume);
+  if (fif.feasible) {
+    EXPECT_EQ(pager.pages_written, fif.io_volume);
+  }
 }
 
 TEST_P(InvariantSweep, PostOrderMinIoPredictionMatchesSimulation) {
@@ -214,8 +216,13 @@ TEST_P(HomogeneousSweep, PostOrderMinIoIsExactlyW) {
 INSTANTIATE_TEST_SUITE_P(UnitWeights, HomogeneousSweep,
                          testing::Combine(testing::Values(15, 40, 90), testing::Range(0, 4)),
                          [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
-                           return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
-                                  std::to_string(std::get<1>(info.param));
+                           // Appends rather than operator+ chains: the latter trip
+                           // GCC 12's -Wrestrict false positive (PR 105329) at -O3.
+                           std::string name = "n";
+                           name += std::to_string(std::get<0>(info.param));
+                           name += "_s";
+                           name += std::to_string(std::get<1>(info.param));
+                           return name;
                          });
 
 // ---------------------------------------------------------------------------

@@ -19,8 +19,9 @@ namespace ooctree::test {
 /// A small random tree: uniform binary shape (exact Catalan sampling) with
 /// weights uniform in [1, w_hi].
 inline core::Tree small_random_tree(std::size_t n, core::Weight w_hi, util::Rng& rng) {
-  // Exact Catalan sampling tops out at n = 65 (128-bit counts); beyond
-  // that the O(n) Rémy-based sampler is just as uniform.
+  // Exact Catalan sampling tops out at n = 65 (128-bit counts); we switch
+  // to the O(n) Rémy-based sampler — just as uniform — at n = 60 already,
+  // comfortably below that limit.
   const core::Tree shape = n <= 60 ? treegen::uniform_binary_tree_exact(n, rng)
                                    : treegen::uniform_binary_tree(n, rng);
   return treegen::with_uniform_weights(shape, 1, w_hi, rng);

@@ -39,7 +39,7 @@ TEST(Traversal, MemoryProfileOfChain) {
 
 TEST(Traversal, MemoryProfileWithSiblings) {
   //     0(1)
-  //    /    \
+  //    _/ \_
   //  1(5)   2(6)
   const Tree t = make_tree({{kNoNode, 1}, {0, 5}, {0, 6}});
   // Execute 1 then 2: profiles 5, then 5 + 6 = 11; root: max(1, 11) = 11.
@@ -63,7 +63,7 @@ TEST(Traversal, ValidateRejectsTooSmallMemory) {
 
 TEST(Traversal, ValidateAcceptsWithIo) {
   //     0(1)
-  //    /    \
+  //    _/ \_
   //  1(5)   2(6)   M = 8: writing 3 units of node 1 makes step 2 fit
   //  (during node 2: active 5-3=2 plus wbar 6 = 8), and children are read
   //  back for the root (wbar(0) = 11 > 8)... so M=8 is infeasible overall.

@@ -18,9 +18,9 @@ using core::Weight;
 
 Tree sample_tree() {
   //        0 (w 5)
-  //       /      \
+  //       __/ \__
   //      1 (3)    2 (4)
-  //     /  \        \
+  //     /  \         |
   //    3(2) 4(7)     5(1)
   return make_tree({{kNoNode, 5}, {0, 3}, {0, 4}, {1, 2}, {1, 7}, {2, 1}});
 }
@@ -62,8 +62,9 @@ TEST(Tree, PostorderVisitsChildrenFirst) {
   std::vector<std::size_t> pos(t.size());
   for (std::size_t k = 0; k < order.size(); ++k) pos[static_cast<std::size_t>(order[k])] = k;
   for (NodeId i = 0; i < static_cast<NodeId>(t.size()); ++i) {
-    if (t.parent(i) != kNoNode)
+    if (t.parent(i) != kNoNode) {
       EXPECT_LT(pos[static_cast<std::size_t>(i)], pos[static_cast<std::size_t>(t.parent(i))]);
+    }
   }
   EXPECT_EQ(order.back(), t.root());
 }

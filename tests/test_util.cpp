@@ -72,6 +72,24 @@ TEST(Args, ThrowsOnBadNumbers) {
   EXPECT_THROW((void)args.get_double("n", 0.0), std::runtime_error);
 }
 
+TEST(Args, RejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--n", "12abc", "--ratio", "0.5x", "--pi", "3.14.15"};
+  const auto args = util::Args::parse(7, argv);
+  EXPECT_THROW((void)args.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW((void)args.get_double("n", 0.0), std::runtime_error);
+  EXPECT_THROW((void)args.get_double("ratio", 0.0), std::runtime_error);
+  EXPECT_THROW((void)args.get_double("pi", 0.0), std::runtime_error);
+}
+
+TEST(Args, AcceptsFullNumericParses) {
+  const char* argv[] = {"prog", "--n", "-42", "--ratio", "2.5e-1", "--whole", "3."};
+  const auto args = util::Args::parse(7, argv);
+  EXPECT_EQ(args.get_int("n", 0), -42);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double("whole", 0.0), 3.0);
+  EXPECT_THROW((void)args.get_int("ratio", 0), std::runtime_error);  // "2.5e-1" is not an int
+}
+
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
   util::ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);
