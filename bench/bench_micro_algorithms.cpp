@@ -3,6 +3,9 @@
 // against performance regressions in the library itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "src/core/expansion.hpp"
 #include "src/core/fif_simulator.hpp"
 #include "src/core/minio_postorder.hpp"
 #include "src/core/minmem_optimal.hpp"
@@ -79,6 +82,42 @@ void BM_RecExpand2(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(core::rec_expand2(t, m).evaluation.io_volume);
 }
 BENCHMARK(BM_RecExpand2)->Arg(1000)->Arg(3000);
+
+// The incremental engine vs the retained reference path at the scaling
+// bench's acceptance point, M = 1.1 * LB (many expansions). See
+// bench_recexpand_scaling for the full sweep.
+Weight tight_memory(const Tree& t) {
+  const Weight lb = t.min_feasible_memory();
+  const Weight peak = core::opt_minmem_peak(t, t.root());
+  return std::max(lb, std::min<Weight>(peak - 1, lb + lb / 10));
+}
+
+void BM_FullRecExpand_TightMemory(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 9);
+  const Weight m = tight_memory(t);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::full_rec_expand(t, m).evaluation.io_volume);
+}
+BENCHMARK(BM_FullRecExpand_TightMemory)->Arg(1000)->Arg(3000);
+
+void BM_FullRecExpandReference_TightMemory(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 9);
+  const Weight m = tight_memory(t);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::rec_expand_reference(t, m, core::RecExpandOptions{}).evaluation.io_volume);
+}
+BENCHMARK(BM_FullRecExpandReference_TightMemory)->Arg(1000)->Arg(3000);
+
+void BM_ScheduleFromIo_BatchExpand(benchmark::State& state) {
+  const Tree t = synth(static_cast<std::size_t>(state.range(0)), 10);
+  const Weight m = (t.min_feasible_memory() + core::opt_minmem_peak(t, t.root())) / 2;
+  const auto schedule = core::opt_minmem(t).schedule;
+  const auto fif = core::simulate_fif(t, schedule, m);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::schedule_from_io(t, fif.io, m)->size());
+}
+BENCHMARK(BM_ScheduleFromIo_BatchExpand)->Arg(3000)->Arg(30000);
 
 void BM_RemyGenerator(benchmark::State& state) {
   util::Rng rng(8);

@@ -9,6 +9,7 @@
 // bookkeeping nodes.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "src/core/traversal.hpp"
@@ -38,6 +39,23 @@ struct ExpandedTree {
   /// itself be the product of an earlier expansion (any role). Node ids are
   /// remapped; the method returns the new tree wholesale.
   [[nodiscard]] ExpandedTree expand(NodeId i, Weight tau) const;
+
+  /// Same expansion applied in place via TreeBuilder: O(degree(parent(i)))
+  /// amortized instead of an O(n) rebuild. Returns the ids {i2, i3} of the
+  /// two appended nodes.
+  std::pair<NodeId, NodeId> expand_in_place(NodeId i, Weight tau);
+
+  /// Batch expansion: expands every node k with io[k] > 0 by io[k], in
+  /// increasing index order, sharing a single TreeBuilder adoption. io must
+  /// have one entry per *current* node. Equivalent to (but much faster
+  /// than) a chain of expand() calls; O(n + expansions) overall.
+  void expand_all(const IoFunction& io);
+
+  /// Reference implementation of expand(): rebuilds the whole tree through
+  /// Tree::from_parents (the pre-incremental code path). Retained so the
+  /// differential suite can check TreeBuilder against a full rebuild, and
+  /// for rec_expand_reference.
+  [[nodiscard]] ExpandedTree expand_rebuild(NodeId i, Weight tau) const;
 
   /// Maps a schedule of the expanded tree back to the original tree by
   /// keeping the kCompute events only.

@@ -1,6 +1,6 @@
 #include "src/core/fif_simulator.hpp"
 
-#include <set>
+#include <algorithm>
 #include <stdexcept>
 
 namespace ooctree::core {
@@ -8,8 +8,8 @@ namespace ooctree::core {
 namespace {
 std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 
-/// Active datum ordered by the step at which its parent consumes it;
-/// the set is iterated from the *latest* consumer backwards when evicting.
+/// Active datum ordered by the step at which its parent consumes it; FiF
+/// evicts the *latest*-consumed datum first, i.e. the max key.
 struct ActiveKey {
   std::size_t parent_step;
   NodeId node;
@@ -24,17 +24,24 @@ FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory
     throw std::invalid_argument("simulate_fif: schedule is not a topological order");
 
   const std::vector<std::size_t> pos = schedule_positions(tree, schedule);
+  const std::size_t n = tree.size();
 
   FifResult result;
-  result.io.assign(tree.size(), 0);
+  result.io.assign(n, 0);
 
   // resident[i]: units of node i's output currently in main memory.
-  std::vector<Weight> resident(tree.size(), 0);
-  // Active data with resident > 0, ordered by consumer step (FiF victims
-  // are taken from the back). The currently executing node's children are
-  // removed from the set before any eviction, so they are never victims.
-  std::set<ActiveKey> active;
-  Weight active_resident = 0;  // sum of resident[] over `active`
+  std::vector<Weight> resident(n, 0);
+  // Active data with resident > 0, as a lazy-deletion max-heap keyed by
+  // consumer step (FiF victims are the heap top). Every node enters the
+  // heap at most once — when it executes — so the heap never exceeds n
+  // entries and all storage is reserved up front. Consumption and full
+  // eviction clear in_active[]; stale heap entries are skipped when popped.
+  // The currently executing node's children are deactivated before any
+  // eviction, so they are never victims.
+  std::vector<ActiveKey> heap;
+  heap.reserve(n);
+  std::vector<char> in_active(n, 0);
+  Weight active_resident = 0;  // sum of resident[] over active data
 
   for (std::size_t t = 0; t < schedule.size(); ++t) {
     const NodeId node = schedule[t];
@@ -44,7 +51,7 @@ FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory
     // and remove them from the active set.
     for (const NodeId c : tree.children(node)) {
       if (resident[idx(c)] > 0) {
-        active.erase(ActiveKey{t, c});
+        in_active[idx(c)] = 0;
         active_resident -= resident[idx(c)];
       }
       resident[idx(c)] = tree.weight(c);  // fully read back for execution
@@ -58,8 +65,12 @@ FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory
       return result;
     }
     while (active_resident > budget) {
-      auto last = std::prev(active.end());
-      const NodeId victim = last->node;
+      const NodeId victim = heap.front().node;
+      if (!in_active[idx(victim)]) {  // stale: consumed or fully evicted
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+        continue;
+      }
       const Weight excess = active_resident - budget;
       const Weight amount = std::min(excess, resident[idx(victim)]);
       resident[idx(victim)] -= amount;
@@ -67,7 +78,11 @@ FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory
       result.io[idx(victim)] += amount;
       result.io_volume += amount;
       ++result.evictions;
-      if (resident[idx(victim)] == 0) active.erase(last);
+      if (resident[idx(victim)] == 0) {
+        in_active[idx(victim)] = 0;
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+      }
     }
     result.peak_resident = std::max(result.peak_resident, active_resident + tree.wbar(node));
 
@@ -75,7 +90,9 @@ FifResult simulate_fif(const Tree& tree, const Schedule& schedule, Weight memory
     // runs (the root's output simply stays resident).
     resident[idx(node)] = tree.weight(node);
     if (node != tree.root()) {
-      active.insert(ActiveKey{pos[idx(tree.parent(node))], node});
+      heap.push_back(ActiveKey{pos[idx(tree.parent(node))], node});
+      std::push_heap(heap.begin(), heap.end());
+      in_active[idx(node)] = 1;
       active_resident += tree.weight(node);
       // The output itself may immediately exceed the bound only if some
       // later wbar cannot accommodate it; eviction happens lazily at that

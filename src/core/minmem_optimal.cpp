@@ -1,8 +1,6 @@
 #include "src/core/minmem_optimal.hpp"
 
 #include <algorithm>
-#include <list>
-#include <queue>
 
 namespace ooctree::core {
 
@@ -10,76 +8,74 @@ namespace {
 
 std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 
-/// One hill-valley segment with the schedule chunk(s) it executes.
-struct Segment {
-  Weight hill = 0;
-  Weight valley = 0;
-  std::list<std::vector<NodeId>> chunks;  // spliceable schedule pieces
-};
-
-using SegSeq = std::vector<Segment>;
-
 /// Appends `s` to `seq`, restoring the normalization invariant
 /// (hills strictly decreasing, valleys strictly increasing) by merging
 /// backwards. Merging two adjacent segments keeps the max hill and the
 /// *later* valley — cutting at a valley that is not a running suffix
 /// minimum, or before a hill that is not a running suffix maximum, never
-/// helps the interleaving (Liu's normalization).
-void push_normalized(SegSeq& seq, Segment&& s) {
+/// helps the interleaving (Liu's normalization). Chunk chains concatenate
+/// with a single next[] write per absorbed segment.
+void push_normalized(std::vector<NodeId>& next, std::vector<IncrementalMinMem::Segment>& seq,
+                     IncrementalMinMem::Segment s) {
   while (!seq.empty() && (seq.back().hill <= s.hill || seq.back().valley >= s.valley)) {
-    Segment& back = seq.back();
+    const IncrementalMinMem::Segment& back = seq.back();
     s.hill = std::max(s.hill, back.hill);
-    s.chunks.splice(s.chunks.begin(), back.chunks);
+    next[idx(back.tail)] = s.head;
+    s.head = back.head;
     seq.pop_back();
   }
-  seq.push_back(std::move(s));
+  seq.push_back(s);
 }
 
-/// Builds the normalized segment sequence of the subtree rooted at `node`
-/// given the (already normalized) sequences of its children, consuming
-/// them. `track_schedule` false skips all chunk bookkeeping.
-SegSeq combine_node(const Tree& tree, NodeId node, std::vector<SegSeq*>& child_seqs,
-                    bool track_schedule) {
-  SegSeq out;
+}  // namespace
 
-  if (child_seqs.size() == 1) {
-    // Single child: reuse its sequence in place (keeps chains linear-time).
-    out = std::move(*child_seqs.front());
-  } else if (!child_seqs.empty()) {
+void IncrementalMinMem::reserve(std::size_t n) {
+  if (seq_.size() >= n) return;
+  seq_.resize(n);
+  next_.resize(n, kNoNode);
+  valid_.resize(n, 0);
+}
+
+void IncrementalMinMem::combine(const Tree& tree, NodeId u, bool release_children) {
+  reserve(tree.size());
+  const auto kids = tree.children(u);
+  std::vector<Segment> out;
+
+  if (kids.size() == 1) {
+    // Single child: reuse (release mode) or copy its sequence — keeps
+    // chains linear-time either way.
+    std::vector<Segment>& child_seq = seq_[idx(kids[0])];
+    if (release_children) {
+      out = std::move(child_seq);
+    } else {
+      out = child_seq;
+    }
+  } else if (kids.size() > 1) {
     // K-way merge of children segments by non-increasing (hill - valley).
     // Ordering is optimal by Theorem 3; per-child order is preserved since
     // each normalized sequence has strictly decreasing (hill - valley).
-    struct Head {
-      Weight key;         // hill - valley of the child's next segment
-      std::size_t child;  // index into child_seqs
-      std::size_t pos;    // next segment within that child
-      bool operator<(const Head& o) const {
-        return key != o.key ? key < o.key : child > o.child;  // max-heap, stable tie-break
-      }
-    };
-    std::priority_queue<Head> heads;
-    for (std::size_t c = 0; c < child_seqs.size(); ++c) {
-      const SegSeq& seq = *child_seqs[c];
-      if (!seq.empty()) heads.push({seq[0].hill - seq[0].valley, c, 0});
+    heap_.clear();
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+      const std::vector<Segment>& sq = seq_[idx(kids[c])];
+      if (!sq.empty()) heap_.push_back({sq[0].hill - sq[0].valley, c, 0});
     }
-    std::vector<Weight> resident(child_seqs.size(), 0);
+    std::make_heap(heap_.begin(), heap_.end());
+    resident_.assign(kids.size(), 0);
     Weight base = 0;  // total resident memory across all children
-    while (!heads.empty()) {
-      const Head h = heads.top();
-      heads.pop();
-      Segment& s = (*child_seqs[h.child])[h.pos];
-      const Weight offset = base - resident[h.child];
-      Segment abs;
-      abs.hill = offset + s.hill;
-      abs.valley = offset + s.valley;
-      if (track_schedule) abs.chunks = std::move(s.chunks);
-      base = abs.valley;
-      resident[h.child] = s.valley;
-      push_normalized(out, std::move(abs));
-      const std::size_t next = h.pos + 1;
-      if (next < child_seqs[h.child]->size()) {
-        const Segment& n = (*child_seqs[h.child])[next];
-        heads.push({n.hill - n.valley, h.child, next});
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      const Head h = heap_.back();
+      heap_.pop_back();
+      const std::vector<Segment>& child_seq = seq_[idx(kids[h.child])];
+      const Segment& s = child_seq[h.pos];
+      const Weight offset = base - resident_[h.child];
+      base = offset + s.valley;
+      resident_[h.child] = s.valley;
+      push_normalized(next_, out, Segment{offset + s.hill, offset + s.valley, s.head, s.tail});
+      const std::size_t nxt = h.pos + 1;
+      if (nxt < child_seq.size()) {
+        heap_.push_back({child_seq[nxt].hill - child_seq[nxt].valley, h.child, nxt});
+        std::push_heap(heap_.begin(), heap_.end());
       }
     }
   }
@@ -87,45 +83,83 @@ SegSeq combine_node(const Tree& tree, NodeId node, std::vector<SegSeq*>& child_s
   // The node's own execution: all children outputs are resident
   // (base == child_weight_sum), the transient peak is wbar, and the
   // subtree's final resident memory is the node's output.
-  Segment own;
-  own.hill = tree.wbar(node);
-  own.valley = tree.weight(node);
-  if (track_schedule) own.chunks.emplace_back(1, node);
-  push_normalized(out, std::move(own));
-  return out;
-}
+  push_normalized(next_, out, Segment{tree.wbar(u), tree.weight(u), u, u});
+  seq_[idx(u)] = std::move(out);
+  valid_[idx(u)] = 1;
 
-OptMinMemResult run(const Tree& tree, NodeId root, bool track_schedule,
-                    std::vector<Weight>* all_peaks = nullptr) {
-  std::vector<SegSeq> seqs(tree.size());
-  const std::vector<NodeId> order = tree.postorder(root);
-  for (const NodeId node : order) {
-    std::vector<SegSeq*> child_seqs;
-    child_seqs.reserve(tree.num_children(node));
-    for (const NodeId c : tree.children(node)) child_seqs.push_back(&seqs[idx(c)]);
-    seqs[idx(node)] = combine_node(tree, node, child_seqs, track_schedule);
-    if (all_peaks != nullptr) {
-      Weight p = 0;
-      for (const Segment& s : seqs[idx(node)]) p = std::max(p, s.hill);
-      (*all_peaks)[idx(node)] = p;
-    }
-    for (const NodeId c : tree.children(node)) {
-      seqs[idx(c)].clear();
-      seqs[idx(c)].shrink_to_fit();
+  if (release_children) {
+    for (const NodeId c : kids) {
+      seq_[idx(c)] = {};
+      valid_[idx(c)] = 0;
     }
   }
+}
 
-  SegSeq& root_seq = seqs[idx(root)];
+void IncrementalMinMem::ensure(const Tree& tree, NodeId r) {
+  reserve(tree.size());
+  if (has(r)) return;
+  // Iterative DFS that never descends into cached subtrees: a valid node's
+  // whole subtree is valid (combines happen bottom-up), so the visit count
+  // is proportional to the newly combined nodes only.
+  dfs_.clear();
+  dfs_.emplace_back(r, 0);
+  while (!dfs_.empty()) {
+    auto& [node, next_child] = dfs_.back();
+    const auto kids = tree.children(node);
+    bool descended = false;
+    while (next_child < kids.size()) {
+      const NodeId c = kids[next_child++];
+      if (!has(c)) {
+        dfs_.emplace_back(c, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (descended) continue;
+    const NodeId done = node;
+    dfs_.pop_back();
+    combine(tree, done, /*release_children=*/false);
+  }
+}
+
+Weight IncrementalMinMem::peak(NodeId u) const {
+  Weight p = 0;
+  for (const Segment& s : seq_[idx(u)]) p = std::max(p, s.hill);
+  return p;
+}
+
+void IncrementalMinMem::extract_schedule(NodeId u, Schedule& out) const {
+  for (const Segment& s : seq_[idx(u)]) {
+    for (NodeId x = s.head;; x = next_[idx(x)]) {
+      out.push_back(x);
+      if (x == s.tail) break;
+    }
+  }
+}
+
+namespace {
+
+OptMinMemResult run(const Tree& tree, NodeId root, bool want_schedule,
+                    std::vector<Weight>* all_peaks = nullptr) {
+  IncrementalMinMem engine;
+  engine.reserve(tree.size());
+  const std::vector<NodeId> order = tree.postorder(root);
+  for (const NodeId node : order) {
+    // Release mode: children sequences are freed as soon as the parent
+    // absorbed them, so the live set stays proportional to the combine
+    // frontier (chains of 100k nodes must not retain 100k sequences).
+    engine.combine(tree, node, /*release_children=*/true);
+    if (all_peaks != nullptr) (*all_peaks)[idx(node)] = engine.peak(node);
+  }
+
+  const auto& root_seq = engine.sequence(root);
   OptMinMemResult result;
-  result.peak = 0;
-  for (const Segment& s : root_seq) result.peak = std::max(result.peak, s.hill);
+  result.peak = engine.peak(root);
   result.segments.reserve(root_seq.size());
-  for (const Segment& s : root_seq) result.segments.emplace_back(s.hill, s.valley);
-  if (track_schedule) {
+  for (const auto& s : root_seq) result.segments.emplace_back(s.hill, s.valley);
+  if (want_schedule) {
     result.schedule.reserve(order.size());
-    for (Segment& s : root_seq)
-      for (const std::vector<NodeId>& chunk : s.chunks)
-        result.schedule.insert(result.schedule.end(), chunk.begin(), chunk.end());
+    engine.extract_schedule(root, result.schedule);
   }
   return result;
 }

@@ -53,4 +53,88 @@ struct OptMinMemResult {
 /// to skip subtrees that fit in memory.
 [[nodiscard]] std::vector<Weight> opt_minmem_all_peaks(const Tree& tree);
 
+/// Incremental OptMinMem over a growing tree — the engine behind the
+/// near-linear RecExpand path (rec_expand.cpp).
+///
+/// The engine caches, per node, the normalized hill-valley sequence of its
+/// subtree's optimal traversal. Schedule chunks are intrusive linked lists
+/// threaded through a single next[] arena indexed by NodeId (every node
+/// occurs in exactly one chunk chain), so merging two segments is one
+/// pointer write and materializing a subtree's schedule is a plain list
+/// walk — no per-segment allocations at all.
+///
+/// combine(u) is *non-consuming*: it reads the children's cached sequences
+/// by value, so a later recombination of u (after the tree changed below
+/// it) only has to redo u itself. After an expansion, RecExpand recombines
+/// exactly the two new nodes plus the victim's ancestor path — amortized
+/// O(depth) instead of a full opt_minmem rerun.
+///
+/// Consistency contract: combine(u) may relink chunk-chain tails belonging
+/// to u's descendants, which invalidates the *materialized order* cached by
+/// any ancestor of u combined earlier. Callers must therefore recombine
+/// bottom-up along the dirty path, and only extract schedules at nodes none
+/// of whose ancestors have been combined since their own last combine —
+/// both naturally true for RecExpand's bottom-up processing.
+class IncrementalMinMem {
+ public:
+  /// One cached normalized segment: peak within the segment, resident
+  /// memory at its end, and the [head, tail] chunk chain of nodes it
+  /// executes (threaded through the next[] arena).
+  struct Segment {
+    Weight hill = 0;
+    Weight valley = 0;
+    NodeId head = kNoNode;
+    NodeId tail = kNoNode;
+  };
+
+  /// Grows the per-node storage to at least `n` nodes (grow-only; call
+  /// after the tree gained nodes).
+  void reserve(std::size_t n);
+
+  /// True when u has a cached sequence.
+  [[nodiscard]] bool has(NodeId u) const {
+    return static_cast<std::size_t>(u) < valid_.size() && valid_[static_cast<std::size_t>(u)];
+  }
+
+  /// (Re)combines u's sequence from its children's cached sequences, which
+  /// must all be valid. With `release_children` the children's sequences
+  /// are freed afterwards (one-shot mode used by opt_minmem; single-child
+  /// chains reuse the child's storage by move).
+  void combine(const Tree& tree, NodeId u, bool release_children = false);
+
+  /// Combines every not-yet-cached node of subtree(r), bottom-up; nodes
+  /// with a valid cache are skipped without descending into them (their
+  /// whole subtree is guaranteed cached). O(newly combined nodes).
+  void ensure(const Tree& tree, NodeId r);
+
+  /// Optimal peak of subtree(u); requires has(u).
+  [[nodiscard]] Weight peak(NodeId u) const;
+
+  /// The cached normalized sequence of u; requires has(u).
+  [[nodiscard]] const std::vector<Segment>& sequence(NodeId u) const {
+    return seq_[static_cast<std::size_t>(u)];
+  }
+
+  /// Appends subtree(u)'s optimal schedule to `out` (see the consistency
+  /// contract above); requires has(u). O(subtree size).
+  void extract_schedule(NodeId u, Schedule& out) const;
+
+ private:
+  std::vector<std::vector<Segment>> seq_;
+  std::vector<NodeId> next_;  // chunk arena: successor of each node in its chain
+  std::vector<char> valid_;
+  // Scratch for combine(), reused across calls.
+  struct Head {
+    Weight key = 0;         // hill - valley of the child's next segment
+    std::size_t child = 0;  // position within the children list
+    std::size_t pos = 0;    // next segment within that child
+    bool operator<(const Head& o) const {
+      return key != o.key ? key < o.key : child > o.child;  // max-heap, stable tie-break
+    }
+  };
+  std::vector<Head> heap_;
+  std::vector<Weight> resident_;
+  std::vector<std::pair<NodeId, std::size_t>> dfs_;
+};
+
 }  // namespace ooctree::core

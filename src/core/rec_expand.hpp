@@ -60,8 +60,26 @@ struct RecExpandResult {
 };
 
 /// Runs the heuristic with the given options.
+///
+/// Uses the incremental expansion engine: node expansions are applied in
+/// place (TreeBuilder), each node's normalized segment sequence is cached
+/// between expand-and-retry iterations (IncrementalMinMem) so only the
+/// victim's ancestor path is recombined, and the per-iteration FiF runs
+/// directly on the expanded subtree without extracting a standalone Tree.
+/// Amortized near-linear in (nodes + expansions · subtree size) instead of
+/// the reference path's full O(n) rebuild + OptMinMem rerun per expansion.
+/// Produces bit-identical schedules, I/O volumes and peaks to
+/// rec_expand_reference (enforced by test_expansion_incremental.cpp).
 [[nodiscard]] RecExpandResult rec_expand(const Tree& tree, Weight memory,
                                          const RecExpandOptions& options);
+
+/// The pre-incremental implementation: per iteration, extracts the subtree
+/// as a standalone Tree, reruns OptMinMem from scratch and rebuilds the
+/// whole expanded tree through Tree::from_parents. Quadratic-plus; retained
+/// as the differential-testing oracle and as the baseline the scaling bench
+/// (bench_recexpand_scaling) measures speedups against.
+[[nodiscard]] RecExpandResult rec_expand_reference(const Tree& tree, Weight memory,
+                                                   const RecExpandOptions& options);
 
 /// FULLRECEXPAND: unbounded per-node loop.
 [[nodiscard]] inline RecExpandResult full_rec_expand(const Tree& tree, Weight memory) {

@@ -111,6 +111,8 @@ class Tree {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  friend class TreeBuilder;  // in-place structural amendments (tree_builder.hpp)
+
   Tree() = default;
   static std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 

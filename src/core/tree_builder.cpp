@@ -1,0 +1,66 @@
+#include "src/core/tree_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+std::pair<NodeId, NodeId> TreeBuilder::expand(NodeId i, Weight tau) {
+  if (i < 0 || idx(i) >= t_.size()) throw std::invalid_argument("TreeBuilder::expand: bad node id");
+  const Weight w = t_.weight_[idx(i)];
+  if (tau < 0 || tau > w) throw std::invalid_argument("TreeBuilder::expand: tau out of range");
+
+  const auto n = t_.size();
+  const auto i2 = static_cast<NodeId>(n);
+  const auto i3 = static_cast<NodeId>(n + 1);
+  const NodeId p = t_.parent_[idx(i)];
+
+  // Parent pointers: i -> i2 -> i3 -> p.
+  t_.parent_[idx(i)] = i2;
+  t_.parent_.push_back(i3);  // parent of i2
+  t_.parent_.push_back(p);   // parent of i3
+  t_.weight_.push_back(w - tau);
+  t_.weight_.push_back(w);
+
+  // Children CSR. Inside p's span, i is replaced by i3; i3 carries the
+  // largest id so it belongs at the span's end — shift the entries after i
+  // left by one (from_parents keeps each span sorted by id). The appended
+  // nodes i2 and i3 are the last parents, so their one-entry ranges go at
+  // the tail of the adjacency array, exactly where from_parents would put
+  // them.
+  if (p == kNoNode) {
+    t_.root_ = i3;
+  } else {
+    const auto b = static_cast<std::size_t>(t_.child_offset_[idx(p)]);
+    const auto e = static_cast<std::size_t>(t_.child_offset_[idx(p) + 1]);
+    auto* const span = t_.child_list_.data();
+    const auto it = std::find(span + b, span + e, i);
+    std::copy(it + 1, span + e, it);
+    span[e - 1] = i3;
+  }
+  const auto edges = static_cast<std::int64_t>(t_.child_list_.size());
+  t_.child_list_.push_back(i);   // i2's only child
+  t_.child_list_.push_back(i2);  // i3's only child
+  t_.child_offset_.push_back(edges + 1);
+  t_.child_offset_.push_back(edges + 2);
+
+  // Derived quantities. i keeps its children and weight, so wbar(i) is
+  // unchanged; p swaps a child of weight w for another of weight w, so
+  // child_sum(p) and wbar(p) are unchanged too.
+  const auto bar = [&](Weight own, Weight children_sum) {
+    return t_.model_ == MemoryModel::kMaxInOut ? std::max(own, children_sum) : own + children_sum;
+  };
+  t_.child_sum_.push_back(w);        // i2's child is i (weight w)
+  t_.child_sum_.push_back(w - tau);  // i3's child is i2
+  t_.wbar_.push_back(bar(w - tau, w));
+  t_.wbar_.push_back(bar(w, w - tau));
+  t_.max_wbar_ = std::max({t_.max_wbar_, t_.wbar_[idx(i2)], t_.wbar_[idx(i3)]});
+  t_.total_weight_ += (w - tau) + w;
+  return {i2, i3};
+}
+
+}  // namespace ooctree::core

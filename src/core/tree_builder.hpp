@@ -1,0 +1,51 @@
+// Mutable companion of Tree for the expansion-shaped amendments that the
+// RecExpand family performs millions of times.
+//
+// Tree is immutable and fully re-validated by from_parents, so rebuilding
+// it after every node expansion costs O(n) — quadratic over a whole
+// RecExpand run. TreeBuilder adopts a Tree and applies an expansion
+// (Figure 3: i -> i2 -> i3 chain) *in place* in O(degree(parent(i)))
+// amortized, maintaining every derived member (children CSR, child sums,
+// wbar, max wbar, total weight, root) exactly as Tree::from_parents would
+// compute it for the amended parent array. The equivalence is enforced by
+// the differential suite (test_expansion_incremental.cpp): a builder-
+// maintained tree must be indistinguishable from a from_parents rebuild.
+//
+// The CSR stays compact without shifting because expansion appends the two
+// new nodes with the largest ids: i3 replaces i inside its parent's child
+// span (and, being the largest id, belongs at the span's end), while i2 and
+// i3 — the last parents — get their single-entry child ranges appended at
+// the tail of the adjacency array.
+#pragma once
+
+#include <utility>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Applies expansion-shaped mutations to an adopted Tree in place.
+class TreeBuilder {
+ public:
+  /// Adopts `t`; use take() to move the amended tree back out.
+  explicit TreeBuilder(Tree t) : t_(std::move(t)) {}
+
+  /// Expands node `i` by `tau` in [0, w_i]: i keeps its children and
+  /// weight; new node i2 (weight w_i - tau) becomes i's parent; new node
+  /// i3 (weight w_i) becomes i2's parent and takes i's place below i's old
+  /// parent (or as root). Returns {i2, i3} = {old size, old size + 1}.
+  /// O(degree(old parent)) amortized. Throws std::invalid_argument on a
+  /// bad id or tau out of range.
+  std::pair<NodeId, NodeId> expand(NodeId i, Weight tau);
+
+  /// The tree in its current (amended) state.
+  [[nodiscard]] const Tree& tree() const { return t_; }
+
+  /// Moves the amended tree out; the builder is empty afterwards.
+  [[nodiscard]] Tree take() { return std::move(t_); }
+
+ private:
+  Tree t_;
+};
+
+}  // namespace ooctree::core
