@@ -19,6 +19,7 @@
 #include "src/core/strategies.hpp"
 #include "src/core/local_search.hpp"
 #include "src/core/tree_io.hpp"
+#include "src/parallel/parallel_sim.hpp"
 #include "src/sparse/assembly_tree.hpp"
 #include "src/sparse/matrix_market.hpp"
 #include "src/sparse/ordering.hpp"
@@ -40,9 +41,21 @@ void usage(const char* prog) {
       "  --memory-fraction F bound = F * in-core peak (default 0.5)\n"
       "  --strategy S        postorder | optminmem | recexpand (default) | full\n"
       "  --polish            run local-search polishing on the planned schedule\n"
+      "  --workers N         also simulate N-worker parallel execution of the plan\n"
+      "  --evict P           parallel eviction policy: belady (default) | lru |\n"
+      "                      fifo | random | largest\n"
       "  --validate FILE     check a previously written plan against the tree\n"
       "  --out FILE          write the plan there instead of stdout\n",
       prog);
+}
+
+core::EvictionPolicy parse_policy(const std::string& s) {
+  if (s == "belady") return core::EvictionPolicy::kBelady;
+  if (s == "lru") return core::EvictionPolicy::kLru;
+  if (s == "fifo") return core::EvictionPolicy::kFifo;
+  if (s == "random") return core::EvictionPolicy::kRandom;
+  if (s == "largest") return core::EvictionPolicy::kLargestFirst;
+  throw std::runtime_error("unknown eviction policy '" + s + "'");
 }
 
 core::Strategy parse_strategy(const std::string& s) {
@@ -156,6 +169,26 @@ int main(int argc, char** argv) {
                  tree.size(), core::strategy_name(strategy).c_str(),
                  (long long)plan.io_volume(), (long long)lb, (long long)peak,
                  (long long)memory);
+
+    // Optional: replay the plan through the shared-memory parallel engine
+    // to see what the schedule costs once several workers contend for M.
+    if (args.has("workers")) {
+      parallel::ParallelConfig pc;
+      pc.workers = static_cast<int>(args.get_int("workers", 2));
+      pc.memory = memory;
+      pc.priority = parallel::Priority::kSequentialOrder;
+      pc.evict = parse_policy(args.get("evict", "belady"));
+      const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);
+      if (!par.feasible) {
+        std::fprintf(stderr, "parallel replay infeasible under M=%lld\n", (long long)memory);
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "parallel replay (%d workers, %s eviction): makespan %.0f, "
+                   "%lld I/O units, utilization %.0f%%\n",
+                   pc.workers, core::eviction_policy_name(pc.evict).c_str(), par.makespan,
+                   (long long)par.io_volume, 100.0 * par.utilization(pc.workers));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

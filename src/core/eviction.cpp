@@ -1,0 +1,92 @@
+#include "src/core/eviction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ooctree::core {
+
+std::string eviction_policy_name(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kBelady: return "Belady";
+    case EvictionPolicy::kLru: return "LRU";
+    case EvictionPolicy::kFifo: return "FIFO";
+    case EvictionPolicy::kRandom: return "Random";
+    case EvictionPolicy::kLargestFirst: return "LargestFirst";
+  }
+  throw std::invalid_argument("eviction_policy_name: unknown policy");
+}
+
+namespace {
+std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+EvictionIndex::EvictionIndex(EvictionPolicy policy, std::size_t capacity, util::Rng* rng)
+    : policy_(policy), rng_(rng), version_(capacity, 0) {
+  if (policy_ == EvictionPolicy::kRandom) {
+    if (rng_ == nullptr)
+      throw std::invalid_argument("EvictionIndex: kRandom requires an Rng");
+    dense_.reserve(capacity);
+    dense_pos_.assign(capacity, 0);
+  } else {
+    heap_.reserve(capacity);
+  }
+}
+
+std::int64_t EvictionIndex::normalize(std::int64_t key) const {
+  // Larger normalized key == evicted sooner. LRU/FIFO prefer the *oldest*
+  // clock, so their keys are flipped.
+  switch (policy_) {
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      return -key;
+    default:
+      return key;
+  }
+}
+
+void EvictionIndex::insert(NodeId id, std::int64_t key) {
+  if (policy_ == EvictionPolicy::kRandom) {
+    if (version_[idx(id)] == 0) {
+      version_[idx(id)] = 1;
+      dense_pos_[idx(id)] = static_cast<std::uint32_t>(dense_.size());
+      dense_.push_back(id);
+      ++live_;
+    }
+    return;  // keys are irrelevant to kRandom
+  }
+  // 0 marks "absent", so the stamp skips it when it wraps.
+  if (++stamp_ == 0) ++stamp_;
+  const std::uint32_t v = stamp_;
+  if (version_[idx(id)] == 0) ++live_;
+  version_[idx(id)] = v;
+  heap_.push_back(Entry{normalize(key), id, v});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+void EvictionIndex::erase(NodeId id) {
+  if (version_[idx(id)] == 0) return;
+  version_[idx(id)] = 0;
+  --live_;
+  if (policy_ == EvictionPolicy::kRandom) {
+    const std::uint32_t pos = dense_pos_[idx(id)];
+    dense_[pos] = dense_.back();
+    dense_pos_[idx(dense_[pos])] = pos;
+    dense_.pop_back();
+  }
+  // Non-random: the heap entry goes stale and is skipped on a later pick().
+}
+
+bool EvictionIndex::contains(NodeId id) const { return version_[idx(id)] != 0; }
+
+NodeId EvictionIndex::pick() {
+  if (live_ == 0) return kNoNode;
+  if (policy_ == EvictionPolicy::kRandom) return dense_[rng_->index(dense_.size())];
+  while (true) {
+    const Entry& top = heap_.front();
+    if (version_[idx(top.id)] == top.version) return top.id;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+}  // namespace ooctree::core

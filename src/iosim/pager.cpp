@@ -8,22 +8,14 @@
 
 namespace ooctree::iosim {
 
+using core::EvictionIndex;
 using core::kNoNode;
 using core::NodeId;
 using core::Schedule;
 using core::Tree;
 using core::Weight;
 
-std::string policy_name(Policy p) {
-  switch (p) {
-    case Policy::kBelady: return "Belady";
-    case Policy::kLru: return "LRU";
-    case Policy::kFifo: return "FIFO";
-    case Policy::kRandom: return "Random";
-    case Policy::kLargestFirst: return "LargestFirst";
-  }
-  throw std::invalid_argument("policy_name: unknown policy");
-}
+std::string policy_name(Policy p) { return core::eviction_policy_name(p); }
 
 namespace {
 
@@ -33,12 +25,10 @@ Weight div_ceil(Weight a, Weight b) { return (a + b - 1) / b; }
 
 /// Per-datum pager state.
 struct DatumState {
-  Weight resident_pages = 0;   ///< pages currently in frames
-  Weight total_pages = 0;      ///< pages of the whole datum
-  std::size_t consumer = 0;    ///< schedule position of the parent
-  std::int64_t last_touch = 0; ///< for LRU
-  std::int64_t loaded_at = 0;  ///< for FIFO
-  bool active = false;
+  Weight resident_pages = 0;  ///< pages currently in frames
+  Weight dirty_pages = 0;     ///< resident pages with no disk copy yet
+  Weight total_pages = 0;     ///< pages of the whole datum
+  std::size_t consumer = 0;   ///< schedule position of the parent
 };
 
 }  // namespace
@@ -76,49 +66,42 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
   Weight frames_used = 0;
   std::int64_t clock = 0;
 
-  // Pick the eviction victim among active data with resident pages,
-  // excluding the pinned children of the node being executed.
-  const auto pick_victim = [&](const std::vector<bool>& pinned) -> NodeId {
-    NodeId best = kNoNode;
-    std::vector<NodeId> candidates;  // only used by kRandom
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      const auto id = static_cast<NodeId>(i);
-      if (!state[i].active || state[i].resident_pages == 0 || pinned[i]) continue;
-      switch (config.policy) {
-        case Policy::kBelady:
-          if (best == kNoNode || state[i].consumer > state[idx(best)].consumer) best = id;
-          break;
-        case Policy::kLru:
-          if (best == kNoNode || state[i].last_touch < state[idx(best)].last_touch) best = id;
-          break;
-        case Policy::kFifo:
-          if (best == kNoNode || state[i].loaded_at < state[idx(best)].loaded_at) best = id;
-          break;
-        case Policy::kLargestFirst:
-          if (best == kNoNode || state[i].resident_pages > state[idx(best)].resident_pages)
-            best = id;
-          break;
-        case Policy::kRandom:
-          candidates.push_back(id);
-          break;
-      }
-    }
-    if (config.policy == Policy::kRandom && !candidates.empty())
-      best = candidates[rng.index(candidates.size())];
-    return best;
-  };
+  // Evictable data, indexed by policy key (no per-eviction scan). A datum
+  // enters the index when its output is produced and leaves when it is
+  // consumed or loses its last resident page. In this replay a datum is
+  // read back only at its consumption step, so the LRU and FIFO clocks
+  // coincide: both equal the production step.
+  EvictionIndex index(config.policy, tree.size(),
+                      config.policy == Policy::kRandom ? &rng : nullptr);
 
-  // Free frames until `needed` are available, evicting via the policy.
-  const auto make_room = [&](Weight needed, const std::vector<bool>& pinned) -> bool {
+  // Frees frames until `needed` are available, evicting via the policy.
+  // Only dirty pages cost a write: a page with a disk copy is dropped for
+  // free. The seed pager charged a write on every eviction — true in this
+  // replay only by accident of its control flow (read-backs happen solely
+  // at consumption, so evicted pages happen to always be dirty); tracking
+  // dirtiness makes write-once-per-page the explicit model, which any
+  // future read-ahead or partial-consumption path relies on.
+  const auto make_room = [&](Weight needed) -> bool {
     while (frames - frames_used < needed) {
-      const NodeId victim = pick_victim(pinned);
+      const NodeId victim = index.pick();
       if (victim == kNoNode) return false;
+      DatumState& v = state[idx(victim)];
       const Weight deficit = needed - (frames - frames_used);
-      const Weight take = std::min(deficit, state[idx(victim)].resident_pages);
-      state[idx(victim)].resident_pages -= take;
+      const Weight take = std::min(deficit, v.resident_pages);
+      // Clean pages are dropped first; only never-written pages cost I/O.
+      const Weight clean = v.resident_pages - v.dirty_pages;
+      const Weight written = std::max<Weight>(0, take - clean);
+      v.resident_pages -= take;
+      v.dirty_pages -= written;
       frames_used -= take;
-      stats.pages_written += take;  // data produced in memory: always dirty
+      stats.pages_written += written;
+      stats.pages_dropped_clean += take - written;
       ++stats.eviction_events;
+      if (v.resident_pages == 0) {
+        index.erase(victim);
+      } else if (config.policy == Policy::kLargestFirst) {
+        index.insert(victim, v.resident_pages);  // re-key after the partial spill
+      }
     }
     return true;
   };
@@ -127,14 +110,16 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
     const NodeId node = schedule[t];
     ++clock;
 
-    std::vector<bool> pinned(tree.size(), false);
-    for (const NodeId c : tree.children(node)) pinned[idx(c)] = true;
+    // The children are consumed at this step: pin them (they stop being
+    // eviction candidates now and are released in step 3).
+    for (const NodeId c : tree.children(node)) index.erase(c);
 
-    // 1. Read back missing pages of the children (they are pinned).
+    // 1. Read back missing pages of the children. Read-back pages come off
+    // disk unmodified, so they stay clean.
     for (const NodeId c : tree.children(node)) {
       const Weight missing = state[idx(c)].total_pages - state[idx(c)].resident_pages;
       if (missing > 0) {
-        if (!make_room(missing, pinned)) {
+        if (!make_room(missing)) {
           stats.feasible = false;
           return stats;
         }
@@ -142,12 +127,14 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
         frames_used += missing;
         stats.pages_read += missing;
       }
-      state[idx(c)].last_touch = clock;
     }
 
     // 2. Working space for the execution itself: the children pages are
     // already pinned; the transient extra is wbar minus the children total
-    // (covers the case where the output is larger than the inputs).
+    // (covers the case where the output is larger than the inputs). The
+    // extra frames are *reserved* — counted into frames_used for the
+    // duration of the step — so nothing can evict into the head-room and
+    // peak_frames_used reports frames the accounting actually allocated.
     const Weight child_pages = [&] {
       Weight s = 0;
       for (const NodeId c : tree.children(node)) s += state[idx(c)].total_pages;
@@ -156,29 +143,40 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
     const Weight work_pages =
         std::max(child_pages, div_ceil(tree.wbar(node), config.page_size));
     const Weight extra = work_pages - child_pages;
-    if (extra > 0 && !make_room(extra, pinned)) {
+    if (extra > 0 && !make_room(extra)) {
       stats.feasible = false;
       return stats;
     }
-    stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used + extra);
+    frames_used += extra;  // reserve the transient working space
+    stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used);
 
-    // 3. Execution: children pages are consumed and released; the node's
-    // output becomes resident.
+    // 3. Execution: children pages are consumed and the reservation is
+    // released; the node's output becomes resident. The output fits inside
+    // the freed working space by construction (out_pages <= work_pages),
+    // so this step never evicts.
     for (const NodeId c : tree.children(node)) {
       frames_used -= state[idx(c)].resident_pages;
       state[idx(c)].resident_pages = 0;
-      state[idx(c)].active = false;
+      state[idx(c)].dirty_pages = 0;
     }
+    frames_used -= extra;
     const Weight out_pages = state[idx(node)].total_pages;
-    if (!make_room(out_pages, pinned)) {
-      stats.feasible = false;
-      return stats;
-    }
     state[idx(node)].resident_pages = out_pages;
-    state[idx(node)].active = node != tree.root();
-    state[idx(node)].last_touch = clock;
-    state[idx(node)].loaded_at = clock;
+    state[idx(node)].dirty_pages = out_pages;  // produced in memory: no disk copy yet
     frames_used += out_pages;
+    if (node != tree.root() && out_pages > 0) {
+      const std::int64_t key = [&]() -> std::int64_t {
+        switch (config.policy) {
+          case Policy::kBelady: return static_cast<std::int64_t>(state[idx(node)].consumer);
+          case Policy::kLru:
+          case Policy::kFifo: return clock;
+          case Policy::kLargestFirst: return out_pages;
+          case Policy::kRandom: return 0;
+        }
+        throw std::invalid_argument("run_pager: unknown policy");
+      }();
+      index.insert(node, key);
+    }
     stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used);
   }
 

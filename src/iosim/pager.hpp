@@ -4,7 +4,14 @@
 // counts writes only, as the paper does. This module simulates the same
 // executions the way a real paging runtime would: data are split into
 // fixed-size pages, memory is a set of frames, evictions pick victims via a
-// pluggable replacement policy, and both writes and read-backs are traced.
+// pluggable replacement policy (core/eviction.hpp — victims are found
+// through an indexed structure, not a per-eviction scan of every datum),
+// and both writes and read-backs are traced. Dirtiness is tracked per
+// datum, making write-at-most-once-per-page the explicit accounting model
+// (a page whose disk copy exists is dropped for free) rather than an
+// accident of the replay's consume-on-read-back control flow. Transient
+// working space is reserved in the frame accounting for the duration of a
+// task, so peak_frames_used reports frames the pager actually allocated.
 // Two uses:
 //   * cross-validation — with page_size = 1 and the Belady policy, the
 //     pager's write count must equal core::simulate_fif exactly;
@@ -16,19 +23,15 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/eviction.hpp"
 #include "src/core/traversal.hpp"
 #include "src/core/tree.hpp"
 
 namespace ooctree::iosim {
 
 /// Replacement policies for choosing which active datum loses pages.
-enum class Policy : std::uint8_t {
-  kBelady,         ///< evict the datum consumed furthest in the future (FiF)
-  kLru,            ///< least recently touched datum
-  kFifo,           ///< oldest resident datum
-  kRandom,         ///< uniform among evictable data
-  kLargestFirst,   ///< datum with the most resident pages
-};
+/// Shared with the parallel simulator via core/eviction.hpp.
+using Policy = core::EvictionPolicy;
 
 [[nodiscard]] std::string policy_name(Policy p);
 
@@ -43,9 +46,10 @@ struct PagerConfig {
 /// Aggregate statistics of one simulated execution.
 struct PagerStats {
   bool feasible = false;
-  std::int64_t pages_written = 0;  ///< evictions (every page is dirty: produced in memory)
+  std::int64_t pages_written = 0;  ///< dirty pages flushed (once per distinct page)
   std::int64_t pages_read = 0;     ///< read-backs of previously evicted pages
   std::int64_t eviction_events = 0;
+  std::int64_t pages_dropped_clean = 0;  ///< evicted pages whose disk copy already existed
   std::int64_t peak_frames_used = 0;
 
   /// Write volume in memory units (pages_written * page_size).

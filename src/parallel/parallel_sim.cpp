@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <queue>
-#include <set>
 #include <stdexcept>
 
 #include "src/core/minmem_postorder.hpp"
+#include "src/util/rng.hpp"
 
 namespace ooctree::parallel {
 
+using core::EvictionPolicy;
 using core::kNoNode;
 using core::NodeId;
 using core::Schedule;
@@ -26,6 +27,73 @@ double task_cost(const Tree& tree, NodeId i, CostModel cost) {
     case CostModel::kUnit: return 1.0;
   }
   throw std::invalid_argument("task_cost: unknown cost model");
+}
+
+/// Validated inputs shared by both engines: the reference order, its
+/// positions, and the per-node priority keys (higher runs first).
+struct Prepared {
+  Schedule ref;
+  std::vector<std::size_t> ref_pos;
+  std::vector<double> priority_key;
+};
+
+Prepared prepare(const Tree& tree, const ParallelConfig& config, const Schedule& reference) {
+  if (config.workers < 1) throw std::invalid_argument("simulate_parallel: need >= 1 worker");
+
+  Prepared p;
+  p.ref = reference.empty() ? core::postorder_minmem(tree).schedule : reference;
+  if (!core::is_topological_order(tree, p.ref))
+    throw std::invalid_argument("simulate_parallel: reference is not a topological order");
+  p.ref_pos = core::schedule_positions(tree, p.ref);
+
+  p.priority_key.assign(tree.size(), 0.0);
+  std::vector<double> up(tree.size(), 0.0);
+  std::vector<double> subtree(tree.size(), 0.0);
+  for (const NodeId v : tree.postorder()) {
+    double deepest = 0.0;
+    double work = task_cost(tree, v, config.cost);
+    for (const NodeId c : tree.children(v)) {
+      deepest = std::max(deepest, up[idx(c)]);
+      work += subtree[idx(c)];
+    }
+    up[idx(v)] = deepest + task_cost(tree, v, config.cost);
+    subtree[idx(v)] = work;
+  }
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    switch (config.priority) {
+      case Priority::kSequentialOrder:
+        p.priority_key[i] = -static_cast<double>(p.ref_pos[i]);
+        break;
+      case Priority::kCriticalPath:
+        p.priority_key[i] = up[i];
+        break;
+      case Priority::kHeaviestSubtree:
+        p.priority_key[i] = subtree[i];
+        break;
+    }
+  }
+  return p;
+}
+
+/// Policy key of a live output, normalized the way EvictionIndex expects
+/// raw keys (the index flips LRU/FIFO internally; the reference engine
+/// flips in its comparator). In this simulator outputs are written once and
+/// only read back at consumption, so the LRU and FIFO clocks coincide: both
+/// equal the completion clock of the producing task.
+std::int64_t policy_key(EvictionPolicy policy, const Tree& tree, NodeId node, Weight resident,
+                        std::int64_t clock, const std::vector<std::size_t>& ref_pos) {
+  switch (policy) {
+    case EvictionPolicy::kBelady:
+      return static_cast<std::int64_t>(ref_pos[idx(tree.parent(node))]);
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo:
+      return clock;
+    case EvictionPolicy::kLargestFirst:
+      return resident;
+    case EvictionPolicy::kRandom:
+      return 0;
+  }
+  throw std::invalid_argument("simulate_parallel: unknown eviction policy");
 }
 
 }  // namespace
@@ -51,43 +119,167 @@ double total_work(const Tree& tree, CostModel cost) {
 
 ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
                                  const Schedule& reference) {
-  if (config.workers < 1) throw std::invalid_argument("simulate_parallel: need >= 1 worker");
+  const Prepared prep = prepare(tree, config, reference);
+  const std::vector<std::size_t>& ref_pos = prep.ref_pos;
+  const std::vector<double>& priority_key = prep.priority_key;
 
-  const Schedule ref =
-      reference.empty() ? core::postorder_minmem(tree).schedule : reference;
-  if (!core::is_topological_order(tree, ref))
-    throw std::invalid_argument("simulate_parallel: reference is not a topological order");
-  const std::vector<std::size_t> ref_pos = core::schedule_positions(tree, ref);
+  ParallelResult result;
+  result.io.assign(tree.size(), 0);
+  result.start_time.assign(tree.size(), -1.0);
+  result.finish_time.assign(tree.size(), -1.0);
 
-  // Priority keys (higher runs first).
-  std::vector<double> priority_key(tree.size(), 0.0);
-  {
-    std::vector<double> up(tree.size(), 0.0);
-    std::vector<double> subtree(tree.size(), 0.0);
-    for (const NodeId v : tree.postorder()) {
-      double deepest = 0.0;
-      double work = task_cost(tree, v, config.cost);
-      for (const NodeId c : tree.children(v)) {
-        deepest = std::max(deepest, up[idx(c)]);
-        work += subtree[idx(c)];
-      }
-      up[idx(v)] = deepest + task_cost(tree, v, config.cost);
-      subtree[idx(v)] = work;
+  // State. Liveness needs no flags here: a live output with resident pages
+  // is exactly an EvictionIndex entry, and `resident` covers the rest.
+  std::vector<Weight> resident(tree.size(), 0);  // in-memory part of outputs
+  std::vector<std::size_t> missing_children(tree.size(), 0);
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    missing_children[i] = tree.num_children(static_cast<NodeId>(i));
+
+  // Ready tasks as a max-heap ordered by priority (then reference position
+  // for ties) — no vector::erase on the hot path.
+  struct Ready {
+    double key;
+    std::size_t ref_pos;
+    NodeId id;
+    bool operator<(const Ready& o) const {  // "less ready"
+      return key != o.key ? key < o.key : ref_pos > o.ref_pos;
     }
-    for (std::size_t i = 0; i < tree.size(); ++i) {
-      switch (config.priority) {
-        case Priority::kSequentialOrder:
-          priority_key[i] = -static_cast<double>(ref_pos[i]);
-          break;
-        case Priority::kCriticalPath:
-          priority_key[i] = up[i];
-          break;
-        case Priority::kHeaviestSubtree:
-          priority_key[i] = subtree[i];
-          break;
+  };
+  std::priority_queue<Ready> ready;
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    if (missing_children[i] == 0)
+      ready.push(Ready{priority_key[i], ref_pos[i], static_cast<NodeId>(i)});
+
+  // Running tasks as (finish_time, node) events.
+  using Event = std::pair<double, NodeId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  int idle = config.workers;
+  double now = 0.0;
+  Weight memory_used = 0;    // running reservations + live output parts
+  Weight running_wbar = 0;   // sum of wbar over running tasks
+  std::int64_t clock = 0;    // completion clock (LRU/FIFO keys)
+
+  util::Rng rng(config.seed);
+  core::EvictionIndex index(config.evict, tree.size(),
+                            config.evict == EvictionPolicy::kRandom ? &rng : nullptr);
+
+  // Transactional start: the O(1) precheck below is exact — every live
+  // output except i's children is fully evictable, so i fits (after
+  // eviction) iff the running reservations plus wbar(i) do. A failing try
+  // therefore returns before any state change, and eviction I/O is charged
+  // exactly once per real spill (the seed engine flushed victims and
+  // charged io_volume even when the start then failed, making results
+  // depend on how often backfill retried).
+  const auto try_start = [&](NodeId i) -> bool {
+    if (running_wbar + tree.wbar(i) > config.memory) return false;
+
+    Weight child_resident = 0;
+    for (const NodeId c : tree.children(i)) child_resident += resident[idx(c)];
+    // Memory delta of starting i: children read back to full size, then
+    // their outputs fold into the running reservation wbar(i); the
+    // reservation step dominates because wbar >= sum of children weights.
+    const Weight delta = tree.wbar(i) - child_resident;
+
+    // The children are consumed by this start: never eviction victims.
+    for (const NodeId c : tree.children(i))
+      if (resident[idx(c)] > 0) index.erase(c);
+
+    // Committed: evict live outputs (furthest-consumer first under Belady)
+    // until the start fits. The precheck guarantees the index suffices.
+    const Weight target = config.memory - delta;
+    while (memory_used > target) {
+      const NodeId v = index.pick();
+      const Weight take = std::min(resident[idx(v)], memory_used - target);
+      resident[idx(v)] -= take;
+      memory_used -= take;
+      result.io[idx(v)] += take;
+      result.io_volume += take;
+      if (resident[idx(v)] == 0) {
+        index.erase(v);
+      } else if (config.evict == EvictionPolicy::kLargestFirst) {
+        index.insert(v, resident[idx(v)]);  // re-key after the partial spill
       }
     }
+
+    // Consume the children: read evicted parts back (reads mirror writes
+    // and are not counted) and fold their outputs into the reservation.
+    for (const NodeId c : tree.children(i)) {
+      memory_used -= resident[idx(c)];
+      resident[idx(c)] = 0;
+    }
+    memory_used += tree.wbar(i);
+    running_wbar += tree.wbar(i);
+    result.peak_resident = std::max(result.peak_resident, memory_used);
+
+    result.start_time[idx(i)] = now;
+    result.start_order.push_back(i);
+    const double cost = task_cost(tree, i, config.cost);
+    result.busy_time += cost;
+    running.emplace(now + cost, i);
+    --idle;
+    return true;
+  };
+
+  std::size_t completed = 0;
+  std::vector<Ready> deferred;
+  while (completed < tree.size()) {
+    // Start ready tasks in priority order. A failed try mutates nothing,
+    // and starts only shrink the memory slack (running_wbar grows), so a
+    // single pass suffices: a task that failed cannot fit later in the
+    // same round.
+    deferred.clear();
+    while (idle > 0 && !ready.empty()) {
+      const Ready r = ready.top();
+      ready.pop();
+      if (try_start(r.id)) continue;
+      ++result.failed_starts;
+      deferred.push_back(r);
+      if (!config.backfill) break;  // strict priority: do not skip ahead
+    }
+    for (const Ready& r : deferred) ready.push(r);
+
+    if (running.empty()) {
+      // No task running and nothing startable: with all evictable data
+      // flushed the smallest wbar must fit, so this means M < LB.
+      result.feasible = false;
+      return result;
+    }
+
+    // Advance to the next completion.
+    const auto [finish, node] = running.top();
+    running.pop();
+    now = finish;
+    result.finish_time[idx(node)] = now;
+    ++idle;
+    ++completed;
+    ++clock;
+
+    // Reservation wbar collapses to the output size.
+    memory_used -= tree.wbar(node);
+    running_wbar -= tree.wbar(node);
+    if (node != tree.root()) {
+      memory_used += tree.weight(node);
+      resident[idx(node)] = tree.weight(node);
+      if (tree.weight(node) > 0)
+        index.insert(node, policy_key(config.evict, tree, node, tree.weight(node), clock,
+                                      ref_pos));
+    }
+
+    const NodeId parent = tree.parent(node);
+    if (parent != kNoNode && --missing_children[idx(parent)] == 0)
+      ready.push(Ready{priority_key[idx(parent)], ref_pos[idx(parent)], parent});
   }
+
+  result.makespan = now;
+  result.feasible = true;
+  return result;
+}
+
+ParallelResult simulate_parallel_reference(const Tree& tree, const ParallelConfig& config,
+                                           const Schedule& reference) {
+  const Prepared prep = prepare(tree, config, reference);
+  const std::vector<std::size_t>& ref_pos = prep.ref_pos;
+  const std::vector<double>& priority_key = prep.priority_key;
 
   ParallelResult result;
   result.io.assign(tree.size(), 0);
@@ -97,6 +289,7 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
   // State.
   std::vector<Weight> resident(tree.size(), 0);  // in-memory part of outputs
   std::vector<bool> output_live(tree.size(), false);
+  std::vector<std::int64_t> live_clock(tree.size(), 0);  // completion clock per output
   std::vector<std::size_t> missing_children(tree.size(), 0);
   for (std::size_t i = 0; i < tree.size(); ++i)
     missing_children[i] = tree.num_children(static_cast<NodeId>(i));
@@ -118,22 +311,65 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
   int idle = config.workers;
   double now = 0.0;
   Weight memory_used = 0;  // running reservations + live output parts
+  std::int64_t clock = 0;
+  util::Rng rng(config.seed);
+
+  // Normalized eviction key: larger == evicted sooner (same convention and
+  // tie-break as EvictionIndex, so both engines pick identical victims).
+  const auto evict_key = [&](NodeId v) -> std::int64_t {
+    switch (config.evict) {
+      case EvictionPolicy::kBelady:
+        return static_cast<std::int64_t>(ref_pos[idx(tree.parent(v))]);
+      case EvictionPolicy::kLru:
+      case EvictionPolicy::kFifo:
+        return -live_clock[idx(v)];
+      case EvictionPolicy::kLargestFirst:
+        return resident[idx(v)];
+      case EvictionPolicy::kRandom:
+        return 0;
+    }
+    throw std::invalid_argument("simulate_parallel_reference: unknown eviction policy");
+  };
 
   // Evicts from live outputs (parents not yet started) until `needed`
-  // additional units fit; victims are furthest in the reference order.
-  // Returns false when even full eviction cannot make room.
+  // additional units fit. Transactional: when even full eviction cannot
+  // make room, returns false WITHOUT evicting anything, so a failed start
+  // charges no I/O (the seed engine flushed victims before reporting
+  // failure, inflating io_volume by one flush per backfill retry).
   const auto make_room = [&](Weight needed, NodeId starting) -> bool {
     if (memory_used + needed <= config.memory) return true;
     std::vector<NodeId> victims;
+    Weight evictable = 0;
     for (std::size_t k = 0; k < tree.size(); ++k) {
       const auto id = static_cast<NodeId>(k);
       if (!output_live[k] || resident[k] == 0) continue;
       bool is_child = false;
       for (const NodeId c : tree.children(starting)) is_child |= (c == id);
-      if (!is_child) victims.push_back(id);
+      if (is_child) continue;
+      victims.push_back(id);
+      evictable += resident[k];
+    }
+    if (memory_used + needed - evictable > config.memory) return false;
+    if (config.evict == EvictionPolicy::kRandom) {
+      while (memory_used + needed > config.memory) {
+        const std::size_t pos = rng.index(victims.size());
+        const NodeId v = victims[pos];
+        const Weight take =
+            std::min(resident[idx(v)], memory_used + needed - config.memory);
+        resident[idx(v)] -= take;
+        memory_used -= take;
+        result.io[idx(v)] += take;
+        result.io_volume += take;
+        if (resident[idx(v)] == 0) {
+          victims[pos] = victims.back();
+          victims.pop_back();
+        }
+      }
+      return true;
     }
     std::sort(victims.begin(), victims.end(), [&](NodeId a, NodeId b) {
-      return ref_pos[idx(tree.parent(a))] > ref_pos[idx(tree.parent(b))];
+      const std::int64_t ka = evict_key(a), kb = evict_key(b);
+      return ka != kb ? ka > kb : a < b;
     });
     for (const NodeId v : victims) {
       if (memory_used + needed <= config.memory) break;
@@ -144,23 +380,15 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
       result.io[idx(v)] += take;
       result.io_volume += take;
     }
-    return memory_used + needed <= config.memory;
+    return true;
   };
 
   const auto try_start = [&](NodeId i) -> bool {
     // Memory delta of starting i: children read back to full size, then
     // their outputs fold into the running reservation wbar(i).
-    Weight readback = 0;
     Weight child_resident = 0;
-    for (const NodeId c : tree.children(i)) {
-      readback += tree.weight(c) - resident[idx(c)];
-      child_resident += tree.weight(c);
-    }
-    // Peak during the start transition: everything else + full children +
-    // wbar... the reservation replaces the children outputs, so the
-    // requirement is max(readback step, running step); the running step
-    // dominates because wbar >= sum of children weights.
-    const Weight delta = tree.wbar(i) - (child_resident - readback);
+    for (const NodeId c : tree.children(i)) child_resident += resident[idx(c)];
+    const Weight delta = tree.wbar(i) - child_resident;
     if (!make_room(delta, i)) return false;
     for (const NodeId c : tree.children(i)) {
       memory_used += tree.weight(c) - resident[idx(c)];
@@ -185,18 +413,17 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
 
   std::size_t completed = 0;
   while (completed < tree.size()) {
-    // Start as many ready tasks as possible, best priority first.
-    bool started = true;
-    while (started && idle > 0 && !ready.empty()) {
-      started = false;
-      for (std::size_t k = 0; k < ready.size(); ++k) {
-        if (try_start(ready[k])) {
-          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
-          started = true;
-          break;
-        }
-        if (!config.backfill) break;  // strict priority: do not skip ahead
+    // Start ready tasks best-priority first. Starts only grow the running
+    // reservations, so a task that failed cannot succeed later in the same
+    // round — one pass over the sorted ready list is exhaustive.
+    for (std::size_t k = 0; idle > 0 && k < ready.size();) {
+      if (try_start(ready[k])) {
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
+        continue;
       }
+      ++result.failed_starts;
+      if (!config.backfill) break;  // strict priority: do not skip ahead
+      ++k;
     }
 
     if (running.empty()) {
@@ -213,6 +440,7 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
     result.finish_time[idx(node)] = now;
     ++idle;
     ++completed;
+    ++clock;
 
     // Reservation wbar collapses to the output size.
     memory_used -= tree.wbar(node);
@@ -220,6 +448,7 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
       memory_used += tree.weight(node);
       resident[idx(node)] = tree.weight(node);
       output_live[idx(node)] = true;
+      live_clock[idx(node)] = clock;
     }
 
     const NodeId parent = tree.parent(node);

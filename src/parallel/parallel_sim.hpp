@@ -9,11 +9,24 @@
 // — or the start is delayed. The simulator is event-driven and reports
 // makespan, written volume and the full execution trace, so the
 // parallelism-vs-I/O tradeoff that motivates the paper's future work can
-// be measured (bench_parallel_tradeoff).
+// be measured (bench_parallel_tradeoff, bench_parallel_scaling).
+//
+// Two engines implement the same semantics:
+//   * simulate_parallel — the production engine: indexed eviction state
+//     (core::EvictionIndex, no per-call scan of all n nodes), a heap-backed
+//     ready queue, and *transactional* task starts (a start that cannot fit
+//     even after full eviction mutates nothing, so eviction I/O is charged
+//     exactly once per real spill);
+//   * simulate_parallel_reference — the retained scan-based engine
+//     (O(n) victim scan + sort per start), kept as the differential oracle
+//     (tests/test_parallel_incremental.cpp pins both engines to
+//     bit-identical results, mirroring rec_expand_reference from PR 2).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "src/core/eviction.hpp"
 #include "src/core/traversal.hpp"
 #include "src/core/tree.hpp"
 
@@ -44,6 +57,11 @@ struct ParallelConfig {
   /// start instead (backfilling). Without it the pool idles until memory
   /// frees up.
   bool backfill = true;
+  /// Which live output loses units when a start needs room. kBelady evicts
+  /// the output whose parent runs furthest in the *reference* order — the
+  /// rule the paper proves optimal for a fixed sequential schedule.
+  core::EvictionPolicy evict = core::EvictionPolicy::kBelady;
+  std::uint64_t seed = 1;  ///< for EvictionPolicy::kRandom
 };
 
 /// Outcome of a parallel simulation.
@@ -57,6 +75,7 @@ struct ParallelResult {
   std::vector<double> finish_time;   ///< per task
   core::Weight peak_resident = 0;    ///< never exceeds memory when feasible
   double busy_time = 0.0;            ///< sum of task durations
+  std::int64_t failed_starts = 0;    ///< tries rejected for lack of memory
 
   /// Worker utilization in [0, 1].
   [[nodiscard]] double utilization(int workers) const {
@@ -65,13 +84,20 @@ struct ParallelResult {
 };
 
 /// Runs the simulation. `reference` supplies the order for
-/// Priority::kSequentialOrder and the eviction tie-break (furthest in the
+/// Priority::kSequentialOrder and the Belady eviction key (furthest in the
 /// reference order is evicted first); pass an empty schedule to use a
 /// postorder computed internally. Throws std::invalid_argument on bad
 /// configs.
 [[nodiscard]] ParallelResult simulate_parallel(const core::Tree& tree,
                                                const ParallelConfig& config,
                                                const core::Schedule& reference = {});
+
+/// The scan-based engine with identical semantics and results, retained as
+/// the differential-testing oracle and the bench_parallel_scaling baseline.
+/// O(n) per eviction round; use simulate_parallel everywhere else.
+[[nodiscard]] ParallelResult simulate_parallel_reference(const core::Tree& tree,
+                                                         const ParallelConfig& config,
+                                                         const core::Schedule& reference = {});
 
 /// Critical-path length under the cost model: a makespan lower bound.
 [[nodiscard]] double critical_path(const core::Tree& tree, CostModel cost);

@@ -16,6 +16,11 @@ std::string lower(std::string s) {
   return s;
 }
 
+bool blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
 }  // namespace
 
 SymPattern read_matrix_market(std::istream& in) {
@@ -30,11 +35,21 @@ SymPattern read_matrix_market(std::istream& in) {
     throw std::runtime_error("matrix market: only coordinate format supported");
   const bool has_values = field != "pattern";
   const int values_per_entry = (field == "complex") ? 2 : (has_values ? 1 : 0);
+  // The symmetry field is part of the banner and must be honored, not
+  // ignored: unknown symmetries are rejected, and `general` files are
+  // symmetrized explicitly below (this reader produces symmetric patterns).
+  if (symmetry != "general" && symmetry != "symmetric" && symmetry != "skew-symmetric" &&
+      symmetry != "hermitian")
+    throw std::runtime_error("matrix market: unknown symmetry '" + symmetry + "'");
+  if (symmetry == "hermitian" && field != "complex")
+    throw std::runtime_error("matrix market: hermitian requires a complex field");
+  const bool declared_symmetric = symmetry != "general";
 
-  // Skip comments, read the size line.
+  // Skip comment and blank lines (both legal before the size line), then
+  // read the size line.
   do {
     if (!std::getline(in, line)) throw std::runtime_error("matrix market: missing size line");
-  } while (!line.empty() && line[0] == '%');
+  } while (blank(line) || line[0] == '%');
   std::istringstream size_line(line);
   std::int64_t rows = 0, cols = 0, entries = 0;
   if (!(size_line >> rows >> cols >> entries))
@@ -55,8 +70,19 @@ SymPattern read_matrix_market(std::istream& in) {
     }
     if (i < 1 || i > rows || j < 1 || j > rows)
       throw std::runtime_error("matrix market: entry index out of range");
+    if (declared_symmetric && i < j)
+      throw std::runtime_error(
+          "matrix market: " + symmetry +
+          " file stores an upper-triangle entry (the format keeps the lower triangle only)");
+    if (symmetry == "skew-symmetric" && i == j)
+      throw std::runtime_error(
+          "matrix market: skew-symmetric file stores a diagonal entry (A = -A^T forces a zero "
+          "diagonal)");
     coo.emplace_back(static_cast<Index>(i - 1), static_cast<Index>(j - 1));
   }
+  // Declared-symmetric files expand their stored triangle; `general` files
+  // are structurally symmetrized (i,j) | (j,i) — the explicit policy for
+  // feeding unsymmetric patterns into the symmetric multifrontal pipeline.
   return SymPattern::from_entries(static_cast<Index>(rows), std::move(coo));
 }
 

@@ -2,10 +2,13 @@
 //
 // The TREES dataset was built by the paper's authors from University of
 // Florida collection matrices, which ship in this format. The reader
-// accepts coordinate-format files (pattern / real / integer / complex,
-// symmetric or general — general matrices are symmetrized structurally) so
-// real UF matrices can be dropped into the benchmark pipeline when
-// available; the writer makes the synthetic generators exportable.
+// accepts coordinate-format files (pattern / real / integer / complex) and
+// honors the banner's symmetry field: symmetric / skew-symmetric /
+// hermitian files must store the lower triangle (upper-triangle entries
+// are rejected as malformed) and are expanded, `general` files are
+// explicitly symmetrized structurally, and unknown symmetries are
+// rejected. Blank lines before the size line are skipped per the format
+// specification. The writer makes the synthetic generators exportable.
 #pragma once
 
 #include <iosfwd>

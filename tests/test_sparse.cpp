@@ -2,6 +2,7 @@
 // trees, column counts and assembly trees.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <algorithm>
 #include <set>
 #include <sstream>
@@ -240,6 +241,71 @@ TEST(MatrixMarket, ParsesRealGeneralFormat) {
   const SymPattern p = sparse::read_matrix_market(in);
   EXPECT_EQ(p.size(), 3);
   EXPECT_EQ(p.nnz(), 4u);  // (1,0) and (2,1) symmetrized, diagonals dropped
+}
+
+TEST(MatrixMarket, SkipsBlankLinesBeforeSizeLine) {
+  // The format allows blank lines among the header comments; the seed
+  // reader treated the first blank line as a malformed size line.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% comment\n"
+      "\n"
+      "   \n"
+      "% another comment\n"
+      "\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const SymPattern p = sparse::read_matrix_market(in);
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.nnz(), 4u);  // 2 symmetric edges, stored both ways
+}
+
+TEST(MatrixMarket, HonorsDeclaredSymmetry) {
+  // Unknown symmetry values are rejected instead of silently treated as
+  // general.
+  std::istringstream unknown(
+      "%%MatrixMarket matrix coordinate pattern sideways\n1 1 0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(unknown), std::runtime_error);
+  // Symmetric storage keeps the lower triangle only; an upper-triangle
+  // entry marks a malformed file (the seed reader symmetrized it quietly).
+  std::istringstream upper(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(upper), std::runtime_error);
+  // skew-symmetric and hermitian imply a symmetric pattern and parse fine.
+  std::istringstream skew(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 -3.5\n");
+  EXPECT_EQ(sparse::read_matrix_market(skew).nnz(), 2u);  // one edge, both ways
+  // Spec corner cases: hermitian is only defined for complex fields, and
+  // skew-symmetry forces a zero (unstored) diagonal.
+  std::istringstream real_hermitian(
+      "%%MatrixMarket matrix coordinate real hermitian\n2 2 1\n2 1 1.0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(real_hermitian), std::runtime_error);
+  std::istringstream skew_diag(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n1 1 2.0\n");
+  EXPECT_THROW((void)sparse::read_matrix_market(skew_diag), std::runtime_error);
+  // general files are symmetrized structurally — explicitly, by policy.
+  std::istringstream general(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n");
+  const SymPattern g = sparse::read_matrix_market(general);
+  EXPECT_EQ(g.nnz(), 2u) << "(0,1) and (1,0) collapse to one symmetric edge";
+}
+
+TEST(MatrixMarket, FixtureFileRoundTrip) {
+  // Save to an actual file and load it back through the file API.
+  const SymPattern p = sparse::grid2d(4, 6);
+  const std::string path = ::testing::TempDir() + "ooctree_mm_roundtrip.mtx";
+  sparse::save_matrix_market(path, p);
+  const SymPattern q = sparse::load_matrix_market(path);
+  EXPECT_EQ(q.size(), p.size());
+  EXPECT_EQ(q.nnz(), p.nnz());
+  for (sparse::Index j = 0; j < p.size(); ++j) {
+    const auto a = p.neighbors(j);
+    const auto b = q.neighbors(j);
+    ASSERT_EQ(a.size(), b.size()) << "column " << j;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "column " << j;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(MatrixMarket, RejectsMalformed) {
