@@ -1,0 +1,296 @@
+// Throughput benchmark for the planning service: requests/sec over a
+// thread sweep {1, 2, 4, 8} crossed with cache-hit mixes {0%, 50%, 90%}.
+//
+// Every cell builds a fresh PlanService, submits the same SYNTH request
+// mix (RecExpand at M = 1.1*LB; every fifth spec adds a 4-worker parallel
+// replay) and measures wall-clock requests/sec plus per-class service
+// latencies (computed vs cache-served vs coalesced). A differential pass
+// then recomputes every unique spec on a cache-disabled, single-thread
+// service and checks each cached response bit-identical to recomputation —
+// the service-level twin of the engine differential suites from PR 2/3.
+//
+// Writes bench_service_throughput.csv (one row per cell) and
+// bench_service_throughput.json (summary; the committed baseline lives at
+// the repository root as BENCH_service.json). Acceptance:
+//   * throughput — 8-thread vs 1-thread speedup on the 0%-hit mix. The
+//     ISSUE-level target of 4x applies on >= 8 hardware cores; machines
+//     with fewer cores are capped at what the hardware can express, so the
+//     recorded threshold is min(4.0, 0.85 * min(8, cores)) and the JSON
+//     stores the core count next to the measured speedup.
+//   * latency — on the 1-thread 90%-hit mix, mean cache-served latency
+//     must undercut mean compute latency by >= 99%.
+//   * differential — cached vs recomputed must match exactly (exit 1).
+//
+// Scales: --scale quick (CI smoke) | default (baseline) | paper.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiment.hpp"
+#include "src/service/plan_service.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+using namespace ooctree;
+
+struct MixSpec {
+  double hit_target = 0.0;  ///< fraction of requests repeating an earlier spec
+  const char* name = "";
+};
+
+struct Cell {
+  std::size_t threads = 0;
+  double hit_target = 0.0;
+  std::size_t requests = 0;
+  std::size_t unique = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  std::uint64_t computed = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t failed = 0;
+  double mean_compute_ms = 0.0;
+  double mean_cached_ms = 0.0;
+};
+
+/// The request mix of one cell: `requests` requests over `unique` specs,
+/// spec s = k % unique, explicit per-spec seeds so repeats are genuine
+/// duplicates. Every fifth spec carries a 4-worker parallel replay.
+std::vector<service::PlanRequest> build_mix(std::size_t requests, std::size_t unique,
+                                            std::size_t nodes) {
+  std::vector<service::PlanRequest> mix;
+  mix.reserve(requests);
+  for (std::size_t k = 0; k < requests; ++k) {
+    const std::size_t s = k % unique;
+    service::PlanRequest request;
+    request.id = static_cast<std::int64_t>(k) + 1;
+    request.nodes = nodes;
+    request.seed = 910000u + static_cast<std::uint64_t>(s);
+    request.memory_lb = 1.1;
+    request.strategy = core::Strategy::kRecExpand;
+    if (s % 5 == 0) {
+      parallel::ParallelConfig pc;
+      pc.workers = 4;
+      pc.priority = parallel::Priority::kSequentialOrder;
+      request.parallel = pc;
+    }
+    mix.push_back(request);
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+
+  std::size_t requests = 0;
+  std::size_t nodes = 0;
+  const char* scale_name = "default";
+  switch (scale) {
+    case bench::Scale::kQuick:
+      requests = 60;
+      nodes = 400;
+      scale_name = "quick";
+      break;
+    case bench::Scale::kDefault:
+      requests = 240;
+      nodes = 1500;
+      break;
+    case bench::Scale::kPaper:
+      requests = 480;
+      nodes = 3000;
+      scale_name = "paper";
+      break;
+  }
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  const std::vector<MixSpec> mixes{{0.0, "0%"}, {0.5, "50%"}, {0.9, "90%"}};
+  const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::printf("== planning-service throughput: threads x cache-hit mix ==\n");
+  std::printf("scale=%s  requests=%zu  n=%zu  M=1.1*LB  cores=%zu\n\n", scale_name, requests,
+              nodes, cores);
+
+  util::CsvWriter csv("bench_service_throughput.csv",
+                      {"threads", "hit_target", "requests", "unique", "seconds", "rps",
+                       "computed", "cached", "coalesced", "failed", "mean_compute_ms",
+                       "mean_cached_ms"});
+
+  std::vector<Cell> cells;
+  for (const MixSpec& mix : mixes) {
+    const auto unique = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(requests) * (1.0 - mix.hit_target) + 0.5));
+    const std::vector<service::PlanRequest> batch = build_mix(requests, unique, nodes);
+
+    for (const std::size_t threads : thread_counts) {
+      service::ServiceConfig config;
+      config.threads = threads;
+      config.cache_capacity = 4096;
+      service::PlanService planner(config);
+
+      util::Stopwatch wall;
+      auto futures = planner.submit_batch(batch);
+      double compute_seconds = 0.0;
+      double cached_seconds = 0.0;
+      std::size_t compute_count = 0;
+      std::size_t cached_count = 0;
+      for (auto& future : futures) {
+        const service::PlanResponse response = future.get();
+        if (response.served == service::Served::kComputed) {
+          compute_seconds += response.seconds;
+          ++compute_count;
+        } else if (response.served == service::Served::kCached) {
+          cached_seconds += response.seconds;
+          ++cached_count;
+        }
+      }
+      const double seconds = wall.seconds();
+
+      const service::ServiceStats stats = planner.stats();
+      Cell cell;
+      cell.threads = threads;
+      cell.hit_target = mix.hit_target;
+      cell.requests = requests;
+      cell.unique = unique;
+      cell.seconds = seconds;
+      cell.rps = static_cast<double>(requests) / seconds;
+      cell.computed = stats.computed;
+      cell.cached = stats.cached;
+      cell.coalesced = stats.coalesced;
+      cell.failed = stats.failed;
+      cell.mean_compute_ms =
+          compute_count > 0 ? compute_seconds * 1e3 / static_cast<double>(compute_count) : 0.0;
+      cell.mean_cached_ms =
+          cached_count > 0 ? cached_seconds * 1e3 / static_cast<double>(cached_count) : 0.0;
+      cells.push_back(cell);
+
+      csv.row({static_cast<std::int64_t>(threads), mix.hit_target,
+               static_cast<std::int64_t>(requests), static_cast<std::int64_t>(unique), seconds,
+               cell.rps, static_cast<std::int64_t>(cell.computed),
+               static_cast<std::int64_t>(cell.cached), static_cast<std::int64_t>(cell.coalesced),
+               static_cast<std::int64_t>(cell.failed), cell.mean_compute_ms,
+               cell.mean_cached_ms});
+      std::printf("threads=%zu hit=%-4s %8.1f req/s  (%llu computed, %llu cached, "
+                  "%llu coalesced)  compute %.3f ms  cached %.4f ms\n",
+                  threads, mix.name, cell.rps, (unsigned long long)cell.computed,
+                  (unsigned long long)cell.cached, (unsigned long long)cell.coalesced,
+                  cell.mean_compute_ms, cell.mean_cached_ms);
+      if (cell.failed != 0) {
+        std::printf("FAILED responses in the mix — aborting\n");
+        return 1;
+      }
+    }
+  }
+
+  // Differential pass: recompute every unique spec of the 90% mix on a
+  // cache-disabled single-thread service and require every response of the
+  // cached 8-thread run to be bit-identical to recomputation.
+  std::printf("\ndifferential: cached vs uncached recomputation ... ");
+  std::fflush(stdout);
+  bool differential_ok = true;
+  {
+    const auto unique = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(requests) * 0.1 + 0.5));
+    const std::vector<service::PlanRequest> batch = build_mix(requests, unique, nodes);
+
+    service::ServiceConfig cached_config;
+    cached_config.threads = 8;
+    cached_config.cache_capacity = 4096;
+    service::PlanService cached_service(cached_config);
+    auto futures = cached_service.submit_batch(batch);
+
+    service::ServiceConfig raw_config;
+    raw_config.threads = 1;
+    raw_config.cache_capacity = 0;  // every plan() recomputes
+    raw_config.coalesce = false;
+    service::PlanService raw_service(raw_config);
+    std::vector<std::shared_ptr<const service::PlanStats>> truth(unique);
+    for (std::size_t s = 0; s < unique; ++s)
+      truth[s] = raw_service.plan(batch[s]).stats;  // batch[s] is spec s's first occurrence
+
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const service::PlanResponse response = futures[k].get();
+      const service::PlanStats& expect = *truth[k % unique];
+      if (!response.stats->ok || !service::identical(*response.stats, expect)) {
+        std::printf("MISMATCH at request id %lld (spec %zu)\n", (long long)batch[k].id,
+                    k % unique);
+        differential_ok = false;
+      }
+    }
+  }
+  std::printf("%s\n", differential_ok ? "identical" : "FAILED");
+
+  // Acceptance numbers.
+  const auto cell_at = [&](std::size_t threads, double hit) -> const Cell* {
+    for (const Cell& c : cells)
+      if (c.threads == threads && c.hit_target == hit) return &c;
+    return nullptr;
+  };
+  const Cell* t1 = cell_at(1, 0.0);
+  const Cell* t8 = cell_at(8, 0.0);
+  const Cell* latency_cell = cell_at(1, 0.9);
+  const double speedup = (t1 != nullptr && t8 != nullptr && t1->rps > 0) ? t8->rps / t1->rps : 0;
+  const double threshold =
+      std::min(4.0, 0.85 * static_cast<double>(std::min<std::size_t>(8, cores)));
+  const bool throughput_pass = speedup >= threshold;
+  const double latency_reduction =
+      (latency_cell != nullptr && latency_cell->mean_compute_ms > 0)
+          ? 1.0 - latency_cell->mean_cached_ms / latency_cell->mean_compute_ms
+          : 0.0;
+  const bool latency_pass = latency_reduction >= 0.99;
+
+  std::FILE* json = std::fopen("bench_service_throughput.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot write bench_service_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"service_throughput\",\n  \"scale\": \"%s\",\n",
+               scale_name);
+  std::fprintf(json,
+               "  \"dataset\": \"SYNTH (uniform binary, weights 1..100), RecExpand at "
+               "M = 1.1*LB, 1/5 specs with 4-worker replay\",\n");
+  std::fprintf(json, "  \"requests\": %zu,\n  \"nodes\": %zu,\n  \"cores\": %zu,\n", requests,
+               nodes, cores);
+  std::fprintf(json, "  \"cells\": [\n");
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const Cell& c = cells[k];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"hit_target\": %.2f, \"unique\": %zu, "
+                 "\"seconds\": %.6f, \"rps\": %.2f, \"computed\": %llu, \"cached\": %llu, "
+                 "\"coalesced\": %llu, \"mean_compute_ms\": %.4f, \"mean_cached_ms\": %.5f}%s\n",
+                 c.threads, c.hit_target, c.unique, c.seconds, c.rps,
+                 (unsigned long long)c.computed, (unsigned long long)c.cached,
+                 (unsigned long long)c.coalesced, c.mean_compute_ms, c.mean_cached_ms,
+                 k + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"acceptance\": {\n"
+               "    \"throughput\": {\"mix\": \"0%%-hit\", \"speedup_8v1\": %.3f, "
+               "\"cores\": %zu, \"threshold_effective\": %.3f, \"target_8core\": 4.0, "
+               "\"pass\": %s},\n"
+               "    \"latency\": {\"mix\": \"90%%-hit, 1 thread\", \"reduction\": %.5f, "
+               "\"threshold\": 0.99, \"pass\": %s},\n"
+               "    \"differential\": {\"pass\": %s}\n  }\n}\n",
+               speedup, cores, threshold, throughput_pass ? "true" : "false", latency_reduction,
+               latency_pass ? "true" : "false", differential_ok ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("\nacceptance:\n");
+  std::printf("  throughput 0%%-hit: %.2fx at 8 vs 1 threads on %zu core(s) "
+              "(effective threshold %.2fx, 8-core target 4x) — %s\n",
+              speedup, cores, threshold, throughput_pass ? "PASS" : "FAIL");
+  std::printf("  latency 90%%-hit:   %.2f%% cache-served reduction (threshold 99%%) — %s\n",
+              latency_reduction * 100.0, latency_pass ? "PASS" : "FAIL");
+  std::printf("  differential:      %s\n", differential_ok ? "PASS" : "FAIL");
+  std::printf("results written to bench_service_throughput.csv and "
+              "bench_service_throughput.json\n");
+  std::printf("(to refresh the committed baseline: cp bench_service_throughput.json "
+              "<repo>/BENCH_service.json)\n");
+  return differential_ok ? 0 : 1;
+}

@@ -2,13 +2,18 @@
 //
 //   $ ./ooc_planner --tree workload.tree --memory 1000 [--strategy recexpand]
 //   $ ./ooc_planner --mtx matrix.mtx --memory-fraction 0.5
+//   $ ./ooc_planner --batch requests.jsonl --threads 8
 //   $ ./ooc_planner --demo
 //
 // Reads a task tree (text format, see src/core/tree_io.hpp) or a Matrix
 // Market file (converted via the multifrontal pipeline), plans an
 // out-of-core traversal under the given memory bound, and writes the plan
 // (execution order + spill list) to stdout or --out. This is the tool a
-// downstream user would wire into a solver driver.
+// downstream user would wire into a solver driver. With --batch the CLI
+// becomes a front-end of the planning service: the whole request batch
+// (JSONL/CSV, src/service/request_io.hpp) runs through PlanService — the
+// exact code path examples/plan_service.cpp serves — and a per-request
+// summary is printed instead of a single plan.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,11 +25,14 @@
 #include "src/core/local_search.hpp"
 #include "src/core/tree_io.hpp"
 #include "src/parallel/parallel_sim.hpp"
+#include "src/service/plan_service.hpp"
+#include "src/service/request_io.hpp"
 #include "src/sparse/assembly_tree.hpp"
 #include "src/sparse/matrix_market.hpp"
 #include "src/sparse/ordering.hpp"
 #include "src/treegen/random_binary.hpp"
 #include "src/util/args.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace {
 
@@ -33,9 +41,11 @@ using core::Weight;
 
 void usage(const char* prog) {
   std::printf(
-      "usage: %s (--tree FILE | --mtx FILE | --demo) [options]\n"
+      "usage: %s (--tree FILE | --mtx FILE | --batch FILE | --demo) [options]\n"
       "  --tree FILE         task tree in the '<parent> <weight>' text format\n"
       "  --mtx FILE          symmetric Matrix Market file (multifrontal pipeline)\n"
+      "  --batch FILE        JSONL/CSV request batch served through PlanService\n"
+      "  --threads N         worker threads for --batch (default: hardware)\n"
       "  --demo              use a built-in random 500-node tree\n"
       "  --memory M          memory bound in units\n"
       "  --memory-fraction F bound = F * in-core peak (default 0.5)\n"
@@ -49,21 +59,46 @@ void usage(const char* prog) {
       prog);
 }
 
-core::EvictionPolicy parse_policy(const std::string& s) {
-  if (s == "belady") return core::EvictionPolicy::kBelady;
-  if (s == "lru") return core::EvictionPolicy::kLru;
-  if (s == "fifo") return core::EvictionPolicy::kFifo;
-  if (s == "random") return core::EvictionPolicy::kRandom;
-  if (s == "largest") return core::EvictionPolicy::kLargestFirst;
-  throw std::runtime_error("unknown eviction policy '" + s + "'");
-}
+/// --batch: serve the whole request file through the planning service and
+/// print one summary line per request — the CLI and the service share one
+/// code path.
+int run_batch(const util::Args& args) {
+  const auto requests = service::load_requests(args.get("batch", ""));
+  if (requests.empty()) {
+    std::fprintf(stderr, "batch is empty\n");
+    return 1;
+  }
+  service::ServiceConfig config;
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  service::PlanService planner(config);
 
-core::Strategy parse_strategy(const std::string& s) {
-  if (s == "postorder") return core::Strategy::kPostOrderMinIo;
-  if (s == "optminmem") return core::Strategy::kOptMinMem;
-  if (s == "recexpand") return core::Strategy::kRecExpand;
-  if (s == "full") return core::Strategy::kFullRecExpand;
-  throw std::runtime_error("unknown strategy '" + s + "'");
+  const std::size_t total = requests.size();
+  util::Stopwatch wall;
+  auto futures = planner.submit_batch(requests);
+  std::size_t failures = 0;
+  for (auto& future : futures) {
+    const service::PlanResponse response = future.get();
+    const service::PlanStats& stats = *response.stats;
+    if (stats.ok) {
+      std::printf("req %-6lld %-9s n=%-7zu M=%-10lld %-13s io=%-10lld peak=%lld\n",
+                  (long long)response.id, service::served_name(response.served).c_str(),
+                  stats.nodes, (long long)stats.memory,
+                  core::strategy_name(stats.strategy).c_str(), (long long)stats.io_volume,
+                  (long long)stats.peak_resident);
+    } else {
+      ++failures;
+      std::printf("req %-6lld FAILED: %s\n", (long long)response.id, stats.error.c_str());
+    }
+  }
+  const double seconds = wall.seconds();
+  const service::ServiceStats stats = planner.stats();
+  std::fprintf(stderr,
+               "served %zu requests in %.3f s on %zu threads: %.1f req/s "
+               "(%llu computed, %llu cached, %llu coalesced, %llu failed)\n",
+               total, seconds, planner.threads(), static_cast<double>(total) / seconds,
+               (unsigned long long)stats.computed, (unsigned long long)stats.cached,
+               (unsigned long long)stats.coalesced, (unsigned long long)stats.failed);
+  return failures == 0 ? 0 : 2;
 }
 
 }  // namespace
@@ -71,6 +106,7 @@ core::Strategy parse_strategy(const std::string& s) {
 int main(int argc, char** argv) {
   const auto args = util::Args::parse(argc, argv);
   try {
+    if (args.has("batch")) return run_batch(args);
     core::Tree tree = [&] {
       if (args.has("tree")) return core::load_tree(args.get("tree", ""));
       if (args.has("mtx")) {
@@ -131,7 +167,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const core::Strategy strategy = parse_strategy(args.get("strategy", "recexpand"));
+    const core::Strategy strategy = core::strategy_from_name(args.get("strategy", "recexpand"));
     auto plan = core::run_strategy(strategy, tree, memory);
     if (args.has("polish")) {
       core::PolishOptions popts;
@@ -177,7 +213,7 @@ int main(int argc, char** argv) {
       pc.workers = static_cast<int>(args.get_int("workers", 2));
       pc.memory = memory;
       pc.priority = parallel::Priority::kSequentialOrder;
-      pc.evict = parse_policy(args.get("evict", "belady"));
+      pc.evict = core::eviction_policy_from_name(args.get("evict", "belady"));
       const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);
       if (!par.feasible) {
         std::fprintf(stderr, "parallel replay infeasible under M=%lld\n", (long long)memory);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/text.hpp"
+
 namespace ooctree::core {
 
 std::string eviction_policy_name(EvictionPolicy p) {
@@ -14,6 +16,17 @@ std::string eviction_policy_name(EvictionPolicy p) {
     case EvictionPolicy::kLargestFirst: return "LargestFirst";
   }
   throw std::invalid_argument("eviction_policy_name: unknown policy");
+}
+
+EvictionPolicy eviction_policy_from_name(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "belady" || s == "fif") return EvictionPolicy::kBelady;
+  if (s == "lru") return EvictionPolicy::kLru;
+  if (s == "fifo") return EvictionPolicy::kFifo;
+  if (s == "random") return EvictionPolicy::kRandom;
+  if (s == "largest" || s == "largestfirst") return EvictionPolicy::kLargestFirst;
+  throw std::invalid_argument("unknown eviction policy '" + name +
+                              "' (belady | lru | fifo | random | largest)");
 }
 
 namespace {

@@ -38,6 +38,11 @@ enum class EvictionPolicy : std::uint8_t {
 
 [[nodiscard]] std::string eviction_policy_name(EvictionPolicy p);
 
+/// Inverse of eviction_policy_name, case-insensitive, also accepting the
+/// short CLI spellings (belady | fif | lru | fifo | random | largest).
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] EvictionPolicy eviction_policy_from_name(const std::string& name);
+
 /// Indexed evictable set: tracks data by policy key and yields the
 /// policy-best victim without scanning. Heap-backed with lazy deletion;
 /// erase/re-key are O(log n) amortized. kRandom keeps a dense array

@@ -5,6 +5,7 @@
 #include "src/core/minio_postorder.hpp"
 #include "src/core/minmem_optimal.hpp"
 #include "src/core/rec_expand.hpp"
+#include "src/util/text.hpp"
 
 namespace ooctree::core {
 
@@ -16,6 +17,16 @@ std::string strategy_name(Strategy s) {
     case Strategy::kFullRecExpand: return "FullRecExpand";
   }
   throw std::invalid_argument("strategy_name: unknown strategy");
+}
+
+Strategy strategy_from_name(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "postorder" || s == "postorderminio") return Strategy::kPostOrderMinIo;
+  if (s == "optminmem") return Strategy::kOptMinMem;
+  if (s == "recexpand") return Strategy::kRecExpand;
+  if (s == "full" || s == "fullrecexpand") return Strategy::kFullRecExpand;
+  throw std::invalid_argument("unknown strategy '" + name +
+                              "' (postorder | optminmem | recexpand | full)");
 }
 
 std::vector<Strategy> all_strategies() {

@@ -24,6 +24,13 @@ enum class Strategy {
 /// Display name matching the paper.
 [[nodiscard]] std::string strategy_name(Strategy s);
 
+/// Inverse of strategy_name, case-insensitive, also accepting the short CLI
+/// spellings (postorder | optminmem | recexpand | full | fullrecexpand).
+/// Throws std::invalid_argument on unknown names. Shared by the example
+/// CLIs and the service request decoder so every front-end speaks the same
+/// vocabulary.
+[[nodiscard]] Strategy strategy_from_name(const std::string& name);
+
 /// All four strategies in the paper's plotting order.
 [[nodiscard]] std::vector<Strategy> all_strategies();
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/rng.hpp"
+
 namespace ooctree::core {
 
 Tree Tree::from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
@@ -122,6 +124,19 @@ std::size_t Tree::depth() const {
 
 bool Tree::is_homogeneous() const {
   return std::all_of(weight_.begin(), weight_.end(), [](Weight w) { return w == 1; });
+}
+
+std::uint64_t Tree::canonical_hash() const {
+  // Chained splitmix64 over the logical content only: parent and weight in
+  // node order plus the memory model. The CSR arrays, aggregates and wbar
+  // are derived from these, so construction history cannot leak in.
+  std::uint64_t h = util::splitmix64(0x6f6f637472656531ULL ^ size());
+  h = util::splitmix64(h ^ static_cast<std::uint64_t>(model_));
+  for (std::size_t i = 0; i < size(); ++i) {
+    h = util::splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(parent_[i])));
+    h = util::splitmix64(h ^ static_cast<std::uint64_t>(weight_[i]));
+  }
+  return h;
 }
 
 std::string Tree::to_string() const {

@@ -107,6 +107,16 @@ class Tree {
   /// True when every node has weight 1 (the homogeneous case of Section 4.2).
   [[nodiscard]] bool is_homogeneous() const;
 
+  /// Canonical 64-bit hash of the tree: a splitmix-chained digest of the
+  /// logical content (size, memory model, and every node's parent and
+  /// weight), independent of how the Tree was materialized — from_parents,
+  /// TreeBuilder amendments, subtree extraction or a file round-trip all
+  /// hash equal for equal trees. Schedules and I/O functions refer to node
+  /// ids, so the hash deliberately distinguishes renumberings of isomorphic
+  /// trees: equal hash means cached plans apply verbatim. This is the
+  /// tree component of the planning-service cache key (src/service/).
+  [[nodiscard]] std::uint64_t canonical_hash() const;
+
   /// Multi-line human-readable rendering (small trees; for debugging).
   [[nodiscard]] std::string to_string() const;
 

@@ -1,0 +1,204 @@
+#include "src/service/plan_service.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/stopwatch.hpp"
+
+namespace ooctree::service {
+
+namespace {
+
+/// Keyspace tag for request-fingerprint entries: keeps spec digests from
+/// ever colliding with canonical (tree, params) keys, whose params half is
+/// a salted splitmix chain and cannot equal this constant by accident.
+constexpr std::uint64_t kFingerprintTag = 0xf19e5f19e5f19e51ULL;
+
+std::shared_ptr<const PlanStats> error_stats(const std::string& message) {
+  auto stats = std::make_shared<PlanStats>();
+  stats->ok = false;
+  stats->error = message;
+  return stats;
+}
+
+}  // namespace
+
+PlanService::PlanService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_shards),
+      pool_(config.threads) {}
+
+std::future<PlanResponse> PlanService::submit(PlanRequest request) {
+  submitted_.fetch_add(1);
+  return pool_.submit([this, request = std::move(request)] { return serve(request); });
+}
+
+std::vector<std::future<PlanResponse>> PlanService::submit_batch(
+    std::vector<PlanRequest> requests) {
+  std::vector<std::future<PlanResponse>> futures;
+  futures.reserve(requests.size());
+  for (PlanRequest& request : requests) futures.push_back(submit(std::move(request)));
+  return futures;
+}
+
+PlanResponse PlanService::plan(const PlanRequest& request) {
+  submitted_.fetch_add(1);
+  return serve(request);
+}
+
+PlanResponse PlanService::serve(const PlanRequest& request) {
+  const util::Stopwatch watch;
+  const std::uint64_t seed = effective_seed(request, config_.seed);
+
+  const auto respond = [&](std::shared_ptr<const PlanStats> stats,
+                           Served served) -> PlanResponse {
+    switch (served) {
+      case Served::kComputed: computed_.fetch_add(1); break;
+      case Served::kCached: cached_.fetch_add(1); break;
+      case Served::kCoalesced: coalesced_.fetch_add(1); break;
+    }
+    if (!stats->ok) failed_.fetch_add(1);
+    completed_.fetch_add(1);
+    PlanResponse response;
+    response.id = request.id;
+    response.stats = std::move(stats);
+    response.served = served;
+    response.seconds = watch.seconds();
+    return response;
+  };
+
+  // Layer 1: spec fingerprint — value-determined requests skip the tree.
+  const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seed);
+  const CacheKey spec_key{fingerprint.value_or(0), kFingerprintTag};
+  if (fingerprint.has_value()) {
+    if (auto hit = cache_.get(spec_key)) return respond(std::move(hit), Served::kCached);
+  }
+
+  try {
+    core::Tree tree = materialize_tree(request, seed);
+    const core::Weight memory = resolve_memory(request, tree);
+
+    // Layer 2: canonical key — identical instances from any source collapse.
+    const CacheKey key{tree.canonical_hash(), params_fingerprint(request, memory, seed)};
+    if (auto hit = cache_.get(key)) {
+      if (fingerprint.has_value()) cache_.put(spec_key, hit);
+      return respond(std::move(hit), Served::kCached);
+    }
+
+    // Layer 3: coalesce with an identical computation already running.
+    std::promise<std::shared_ptr<const PlanStats>> promise;
+    bool leader = true;
+    if (config_.coalesce) {
+      std::shared_future<std::shared_ptr<const PlanStats>> pending;
+      std::shared_ptr<const PlanStats> rechecked;
+      {
+        const std::lock_guard lock(inflight_mutex_);
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          pending = it->second;
+          leader = false;
+        } else if ((rechecked = cache_.get(key)) != nullptr) {
+          // A previous leader finished (cache put + erase) between our
+          // cache miss above and taking this lock; without the re-check a
+          // second leader would recompute the same key.
+          leader = false;
+        } else {
+          inflight_.emplace(key, promise.get_future().share());
+        }
+      }
+      if (rechecked != nullptr) {
+        if (fingerprint.has_value()) cache_.put(spec_key, rechecked);
+        return respond(std::move(rechecked), Served::kCached);
+      }
+      if (!leader) return respond(pending.get(), Served::kCoalesced);
+    }
+
+    // compute() never throws: failures come back as ok=false stats, so the
+    // promise below is always fulfilled and waiters can never hang. The
+    // catch covers the cache insertion (allocation) — a registered leader
+    // must fulfill its promise and clear the key on *every* exit, or the
+    // stale entry would poison all future requests for this instance.
+    std::shared_ptr<const PlanStats> stats;
+    try {
+      stats = compute(request, std::move(tree), memory, seed);
+      if (stats->ok) {
+        cache_.put(key, stats);
+        if (fingerprint.has_value()) cache_.put(spec_key, stats);
+      }
+    } catch (...) {
+      if (config_.coalesce) {
+        promise.set_value(error_stats("planning aborted"));
+        const std::lock_guard lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+      throw;
+    }
+    if (config_.coalesce) {
+      promise.set_value(stats);
+      const std::lock_guard lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    return respond(std::move(stats), Served::kComputed);
+  } catch (const std::exception& e) {
+    return respond(error_stats(e.what()), Served::kComputed);
+  }
+}
+
+std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request,
+                                                      core::Tree tree, core::Weight memory,
+                                                      std::uint64_t seed) const {
+  auto stats = std::make_shared<PlanStats>();
+  try {
+    stats->nodes = tree.size();
+    stats->tree_hash = tree.canonical_hash();
+    stats->total_weight = tree.total_weight();
+    stats->lb = tree.min_feasible_memory();
+    stats->memory = memory;
+    stats->strategy = request.strategy;
+
+    core::StrategyOutcome outcome = core::run_strategy(request.strategy, tree, memory);
+    if (!outcome.evaluation.feasible)
+      throw std::runtime_error("plan infeasible under the resolved memory bound");
+    stats->schedule = std::move(outcome.schedule);
+    stats->io = std::move(outcome.evaluation.io);
+    stats->io_volume = outcome.evaluation.io_volume;
+    stats->peak_resident = outcome.evaluation.peak_resident;
+    stats->evictions = outcome.evaluation.evictions;
+
+    if (request.parallel.has_value()) {
+      parallel::ParallelConfig pc = *request.parallel;
+      pc.memory = memory;
+      if (pc.seed == 0) pc.seed = seed;
+      const parallel::ParallelResult replay =
+          parallel::simulate_parallel(tree, pc, stats->schedule);
+      stats->replayed = true;
+      stats->replay_feasible = replay.feasible;
+      stats->workers = pc.workers;
+      stats->makespan = replay.makespan;
+      stats->parallel_io = replay.io_volume;
+      stats->utilization = replay.utilization(pc.workers);
+    }
+    stats->ok = true;
+  } catch (const std::exception& e) {
+    auto failed = std::make_shared<PlanStats>();
+    failed->ok = false;
+    failed->error = e.what();
+    return failed;
+  }
+  return stats;
+}
+
+ServiceStats PlanService::stats() const {
+  ServiceStats out;
+  out.submitted = submitted_.load();
+  out.completed = completed_.load();
+  out.computed = computed_.load();
+  out.cached = cached_.load();
+  out.coalesced = coalesced_.load();
+  out.failed = failed_.load();
+  out.cache = cache_.counters();
+  return out;
+}
+
+}  // namespace ooctree::service

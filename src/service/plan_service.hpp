@@ -1,0 +1,119 @@
+// PlanService — the asynchronous, batched, cached planning engine.
+//
+// The throughput front-end over the paper's algorithms: requests submitted
+// through submit() run on a util::ThreadPool and resolve to
+// std::future<PlanResponse>. Three layers keep repeated instances from
+// recomputing:
+//   1. request-fingerprint cache — value-determined requests (generator
+//      specs, inline parent vectors) are answered from their spec digest
+//      without materializing the tree;
+//   2. canonical-tree cache — after materialization, the cache key is
+//      (Tree::canonical_hash(), params digest), so the *same instance*
+//      arriving as a generator spec, a parent vector or a file is served
+//      from one entry;
+//   3. in-flight coalescing — a request whose canonical key is currently
+//      being computed attaches to that computation instead of duplicating
+//      it (the leader never waits, so coalescing cannot deadlock even on a
+//      single-thread pool).
+// Both cache views share one sharded LRU store and hand out the same
+// immutable PlanStats object, so cached, coalesced and computed responses
+// are bit-identical (pinned by tests/test_service.cpp and the differential
+// pass of bench_service_throughput).
+//
+// Determinism: a request's RNG stream is derived from (service seed,
+// request id) via util::derive_seed, never from scheduling order — the
+// same batch yields the same per-id results on 1 or 8 threads, shuffled or
+// not. Failures (bad paths, infeasible bounds, malformed specs) become
+// ok=false responses, never exceptions through the future, and are not
+// cached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/request.hpp"
+#include "src/service/result_cache.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ooctree::service {
+
+/// Service knobs.
+struct ServiceConfig {
+  std::size_t threads = 0;            ///< worker threads; 0 = hardware concurrency
+  std::size_t cache_capacity = 4096;  ///< total cached results; 0 disables caching
+  std::size_t cache_shards = 16;      ///< rounded up to a power of two
+  std::uint64_t seed = 20170208;      ///< base seed for derived request streams
+  bool coalesce = true;               ///< share identical in-flight computations
+};
+
+/// Service-level counters (monotonic over the service lifetime).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t computed = 0;   ///< planned from scratch
+  std::uint64_t cached = 0;     ///< served from the result cache
+  std::uint64_t coalesced = 0;  ///< attached to an in-flight computation
+  std::uint64_t failed = 0;     ///< ok=false responses
+  CacheCounters cache;
+};
+
+/// Asynchronous batched planning front-end. Thread-safe; destruction
+/// drains every submitted request (ThreadPool shutdown is drain-then-stop).
+class PlanService {
+ public:
+  explicit PlanService(ServiceConfig config = {});
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Enqueues one request; the future resolves to its response. Never
+  /// resolves to an exception for bad requests — those come back ok=false.
+  [[nodiscard]] std::future<PlanResponse> submit(PlanRequest request);
+
+  /// Enqueues a whole batch, returning futures in request order.
+  [[nodiscard]] std::vector<std::future<PlanResponse>> submit_batch(
+      std::vector<PlanRequest> requests);
+
+  /// Serves one request synchronously on the calling thread — the same
+  /// path submit() takes (cache, coalescing, counters included).
+  [[nodiscard]] PlanResponse plan(const PlanRequest& request);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  PlanResponse serve(const PlanRequest& request);
+  [[nodiscard]] std::shared_ptr<const PlanStats> compute(const PlanRequest& request,
+                                                         core::Tree tree, core::Weight memory,
+                                                         std::uint64_t seed) const;
+
+  ServiceConfig config_;
+  ResultCache cache_;
+
+  /// Canonical keys currently being computed; waiters share the leader's
+  /// eventual PlanStats through a shared_future.
+  std::mutex inflight_mutex_;
+  std::unordered_map<CacheKey, std::shared_future<std::shared_ptr<const PlanStats>>,
+                     CacheKeyHash>
+      inflight_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> cached_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  /// Declared last on purpose: the pool is destroyed first, draining every
+  /// queued serve() while the cache, in-flight table and counters above
+  /// are still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace ooctree::service

@@ -1,0 +1,157 @@
+// Request/response vocabulary of the planning service (src/service/).
+//
+// A PlanRequest names a tree source (generator spec, explicit parent
+// vector, tree file, or Matrix Market path), a memory bound (absolute or a
+// multiple of the instance's feasibility bound LB), the planning Strategy,
+// and an optional parallel-replay configuration. A PlanResponse carries an
+// immutable, shareable PlanStats payload — everything deterministic about
+// the answer — plus per-serve metadata (how it was served, how long it
+// took). Keeping the deterministic payload separate is what lets the
+// service cache hand the *same* PlanStats object to every duplicate
+// request: cached and freshly computed responses are bit-identical by
+// construction, which tests/test_service.cpp and the throughput bench pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/strategies.hpp"
+#include "src/core/traversal.hpp"
+#include "src/core/tree.hpp"
+#include "src/parallel/parallel_sim.hpp"
+
+namespace ooctree::service {
+
+/// Where a request's task tree comes from.
+enum class TreeSource : std::uint8_t {
+  kSynth,         ///< generator spec: uniform binary tree, uniform weights
+  kParents,       ///< explicit parent/weight vectors in the request
+  kTreeFile,      ///< '<parent> <weight>' text file (core/tree_io.hpp)
+  kMatrixMarket,  ///< .mtx path through the multifrontal pipeline (sparse/)
+};
+
+[[nodiscard]] std::string tree_source_name(TreeSource s);
+[[nodiscard]] TreeSource tree_source_from_name(const std::string& name);
+
+/// Parallel Priority / CostModel names, shared by the CLIs, the request
+/// decoder and the response printers.
+[[nodiscard]] std::string priority_name(parallel::Priority p);
+[[nodiscard]] parallel::Priority priority_from_name(const std::string& name);
+[[nodiscard]] std::string cost_model_name(parallel::CostModel c);
+[[nodiscard]] parallel::CostModel cost_model_from_name(const std::string& name);
+
+/// One planning request. Defaults describe a 500-node SYNTH instance
+/// planned by RecExpand at M = 2×LB, no parallel replay.
+struct PlanRequest {
+  std::int64_t id = 0;  ///< caller-chosen; also salts the derived RNG stream
+
+  TreeSource source = TreeSource::kSynth;
+  // kSynth: `nodes` nodes, weights uniform in [w_lo, w_hi]. seed == 0 means
+  // "derive from (service seed, request id)" — the deterministic default.
+  std::size_t nodes = 500;
+  core::Weight w_lo = 1;
+  core::Weight w_hi = 100;
+  std::uint64_t seed = 0;
+  // kParents: the tree spelled out in the request.
+  std::vector<core::NodeId> parent;
+  std::vector<core::Weight> weight;
+  // kTreeFile / kMatrixMarket: on-disk instance.
+  std::string path;
+
+  /// Transient-memory model the tree is planned under.
+  core::MemoryModel model = core::MemoryModel::kMaxInOut;
+
+  /// Memory bound: `memory` wins when positive; otherwise the bound is
+  /// max(LB, memory_lb × LB). An absolute bound below LB is an error.
+  core::Weight memory = 0;
+  double memory_lb = 2.0;
+
+  core::Strategy strategy = core::Strategy::kRecExpand;
+
+  /// When set, the planned schedule is replayed through the shared-memory
+  /// parallel simulator. `parallel->memory` is overridden by the request's
+  /// resolved bound; `parallel->seed == 0` means "use the request's derived
+  /// RNG stream" (only consulted by EvictionPolicy::kRandom).
+  std::optional<parallel::ParallelConfig> parallel;
+};
+
+/// The deterministic payload of an answer. Immutable once built; duplicate
+/// requests share one PlanStats through shared_ptr.
+struct PlanStats {
+  bool ok = false;
+  std::string error;  ///< set when !ok; every other field is then default
+
+  // Instance.
+  std::size_t nodes = 0;
+  std::uint64_t tree_hash = 0;  ///< Tree::canonical_hash()
+  core::Weight total_weight = 0;
+  core::Weight lb = 0;      ///< min feasible memory of the instance
+  core::Weight memory = 0;  ///< resolved bound the plan was made under
+
+  // Plan.
+  core::Strategy strategy = core::Strategy::kRecExpand;
+  core::Schedule schedule;
+  core::IoFunction io;
+  core::Weight io_volume = 0;
+  core::Weight peak_resident = 0;
+  std::int64_t evictions = 0;
+
+  // Parallel replay (only when the request asked for one).
+  bool replayed = false;
+  bool replay_feasible = false;
+  int workers = 0;
+  double makespan = 0.0;
+  core::Weight parallel_io = 0;
+  double utilization = 0.0;
+};
+
+/// Field-by-field equality of the deterministic payload — the differential
+/// check used to prove cached responses match recomputation exactly.
+[[nodiscard]] bool identical(const PlanStats& a, const PlanStats& b);
+
+/// How a response was produced.
+enum class Served : std::uint8_t {
+  kComputed,   ///< planned from scratch on a worker
+  kCached,     ///< answered from the result cache
+  kCoalesced,  ///< attached to an identical in-flight computation
+};
+
+[[nodiscard]] std::string served_name(Served s);
+
+/// One answer. `stats` is never null; failures are PlanStats with ok=false.
+struct PlanResponse {
+  std::int64_t id = 0;
+  std::shared_ptr<const PlanStats> stats;
+  Served served = Served::kComputed;
+  double seconds = 0.0;  ///< wall time serving this request on its worker
+};
+
+/// The RNG stream seed a request plans under: the request's own seed when
+/// set, otherwise util::derive_seed(service_seed, request id).
+[[nodiscard]] std::uint64_t effective_seed(const PlanRequest& request, std::uint64_t service_seed);
+
+/// Materializes the request's tree (generates, decodes, or loads it) under
+/// the request's memory model. Throws std::runtime_error /
+/// std::invalid_argument on bad specs or unreadable files.
+[[nodiscard]] core::Tree materialize_tree(const PlanRequest& request, std::uint64_t seed);
+
+/// Resolves the request's memory bound against the materialized tree.
+/// Throws std::invalid_argument when an absolute bound is below LB.
+[[nodiscard]] core::Weight resolve_memory(const PlanRequest& request, const core::Tree& tree);
+
+/// Fingerprint of a *value-determined* request: a 64-bit digest of every
+/// field that determines the answer, computable without materializing the
+/// tree. Path-based sources return nullopt — their answer depends on file
+/// content, which only the canonical tree hash captures.
+[[nodiscard]] std::optional<std::uint64_t> request_fingerprint(const PlanRequest& request,
+                                                               std::uint64_t seed);
+
+/// Digest of the non-tree parameters (resolved memory, strategy, replay
+/// config): the params half of the canonical cache key.
+[[nodiscard]] std::uint64_t params_fingerprint(const PlanRequest& request, core::Weight memory,
+                                               std::uint64_t seed);
+
+}  // namespace ooctree::service

@@ -1,0 +1,55 @@
+// Decoding PlanRequest batches from JSONL and CSV streams.
+//
+// JSONL: one flat JSON object per line ('#' comments and blank lines are
+// skipped). Keys — all optional, unknown keys rejected:
+//   id, source ("synth" | "parents" | "tree" | "mtx"),
+//   nodes, w_lo, w_hi, seed           (synth generator spec)
+//   parent [..], weight [..]          (inline parent-vector tree)
+//   path                              (tree / mtx file sources)
+//   model ("max" | "sum"),
+//   memory, memory_lb, strategy ("postorder" | "optminmem" | "recexpand" |
+//   "full"), and the parallel replay block: workers (> 0 enables the
+//   replay), priority, evict, cost, backfill, evict_seed.
+// When "source" is absent it is inferred: a "path" ending in .mtx means
+// mtx, any other path means tree, a "parent" array means parents,
+// otherwise synth. When "id" is absent the 1-based line ordinal (JSONL) or
+// data-row ordinal (CSV) is used.
+//
+// CSV: a header row naming a subset of the scalar keys above (parent/
+// weight arrays are JSONL-only), then one request per row; empty cells
+// keep the field's default. The same inference rules apply.
+//
+// The parser is deliberately minimal — flat objects, numbers, strings,
+// booleans and integer arrays — so the service has no dependency beyond
+// the standard library. Malformed input throws std::runtime_error with a
+// line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/service/request.hpp"
+
+namespace ooctree::service {
+
+/// Batch file format selector; kAuto sniffs JSONL by a leading '{'.
+enum class BatchFormat : std::uint8_t { kAuto, kJsonl, kCsv };
+
+/// Decodes one JSONL object into a request. `fallback_id` is used when the
+/// object has no "id" key. Throws std::runtime_error on malformed input.
+[[nodiscard]] PlanRequest request_from_json(const std::string& line,
+                                            std::int64_t fallback_id = 0);
+
+/// Reads a whole JSONL stream.
+[[nodiscard]] std::vector<PlanRequest> read_requests_jsonl(std::istream& in);
+
+/// Reads a whole CSV stream (header row + one request per data row).
+[[nodiscard]] std::vector<PlanRequest> read_requests_csv(std::istream& in);
+
+/// Loads a batch file. kAuto decides per content: a first non-blank,
+/// non-comment line starting with '{' is JSONL, anything else CSV.
+[[nodiscard]] std::vector<PlanRequest> load_requests(const std::string& path,
+                                                     BatchFormat format = BatchFormat::kAuto);
+
+}  // namespace ooctree::service

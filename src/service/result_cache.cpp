@@ -1,0 +1,85 @@
+#include "src/service/result_cache.hpp"
+
+#include <algorithm>
+
+#include "src/util/rng.hpp"
+
+namespace ooctree::service {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t count = round_up_pow2(std::max<std::size_t>(1, shards));
+  shard_mask_ = count - 1;
+  // Per-shard budget: ceil(capacity / count) so the total is never below
+  // the requested capacity; 0 stays 0 (cache disabled).
+  shard_capacity_ = capacity == 0 ? 0 : (capacity + count - 1) / count;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard& ResultCache::shard_for(const CacheKey& key) {
+  // Remix before selecting: the low bits of `tree` also pick hash-map
+  // buckets inside the shard, and reusing them verbatim would correlate
+  // the two.
+  const std::uint64_t h = util::splitmix64(key.tree ^ key.params);
+  return *shards_[static_cast<std::size_t>(h & shard_mask_)];
+}
+
+std::shared_ptr<const PlanStats> ResultCache::get(const CacheKey& key) {
+  if (!enabled()) return nullptr;
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh recency
+  ++shard.hits;
+  return it->second->second;
+}
+
+void ResultCache::put(const CacheKey& key, std::shared_ptr<const PlanStats> value) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.map.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheCounters ResultCache::counters() const {
+  CacheCounters total;
+  total.capacity = shard_capacity_ * shards_.size();
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace ooctree::service

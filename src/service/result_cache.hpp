@@ -1,0 +1,90 @@
+// Sharded LRU result cache of the planning service.
+//
+// Maps 128-bit cache keys to immutable, shared PlanStats. Two keyspaces
+// (distinguished by a tag folded into the key by the service) point at the
+// same values: request fingerprints — answerable without touching the tree
+// — and canonical tree-hash keys, which deduplicate identical instances
+// arriving through different request spellings. Sharding bounds lock
+// contention: each shard owns an independent mutex, hash map and intrusive
+// LRU list, so concurrent workers only collide when their keys land on the
+// same shard. Capacity is enforced per shard (total/shards, at least 1);
+// eviction is strict LRU within the shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/service/request.hpp"
+
+namespace ooctree::service {
+
+/// A cache key: the tree/fingerprint digest and the params digest.
+struct CacheKey {
+  std::uint64_t tree = 0;
+  std::uint64_t params = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Hash functor for CacheKey maps (the cache shards and the service's
+/// in-flight table).
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    // The components are splitmix digests already; fold them.
+    return static_cast<std::size_t>(k.tree ^ (k.params * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Counters, aggregated over shards.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe sharded LRU map from CacheKey to shared PlanStats.
+class ResultCache {
+ public:
+  /// `capacity` = total entries across shards (0 disables the cache:
+  /// get() always misses, put() is a no-op). `shards` is rounded up to a
+  /// power of two.
+  ResultCache(std::size_t capacity, std::size_t shards);
+
+  /// The cached value, or nullptr on miss. A hit refreshes LRU recency.
+  [[nodiscard]] std::shared_ptr<const PlanStats> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) key -> value, evicting the shard's LRU tail
+  /// when over capacity.
+  void put(const CacheKey& key, std::shared_ptr<const PlanStats> value);
+
+  [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] bool enabled() const { return shard_capacity_ > 0; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used; back = eviction candidate.
+    std::list<std::pair<CacheKey, std::shared_ptr<const PlanStats>>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const CacheKey& key);
+
+  std::size_t shard_capacity_ = 0;
+  std::uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ooctree::service

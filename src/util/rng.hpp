@@ -10,6 +10,25 @@
 
 namespace ooctree::util {
 
+/// One step of the splitmix64 output function (Steele, Lea, Flood 2014):
+/// a bijective avalanche mix of the full 64-bit state. Constexpr so seed
+/// derivations can be pinned in tests and computed at compile time.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of an independent RNG stream from a base seed and a
+/// stream id (e.g. a service seed and a request id). Two splitmix steps so
+/// that nearby (seed, stream) pairs land far apart; the result depends only
+/// on the two inputs, never on evaluation order — the contract that makes
+/// batched runs reproducible regardless of thread scheduling.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(stream + 0x632be59bd9b4e019ULL));
+}
+
 /// Deterministic 64-bit PRNG with convenience samplers.
 ///
 /// Thin wrapper around std::mt19937_64 exposing only the distributions the

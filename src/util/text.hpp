@@ -1,0 +1,19 @@
+// Tiny shared string helpers for the name parsers (strategies, eviction
+// policies, service request fields), so each parser normalizes input the
+// same way instead of growing its own copy of the transform.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace ooctree::util {
+
+/// ASCII lowercase copy; the option vocabularies are all ASCII.
+[[nodiscard]] inline std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace ooctree::util

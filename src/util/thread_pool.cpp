@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.hpp"
 
 #include <atomic>
+#include <stdexcept>
 
 namespace ooctree::util {
 
@@ -11,12 +12,24 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Drain-then-stop: workers only exit once the queue is empty (see
+  // worker_loop), so every future handed out by submit() gets its result
+  // (or exception) before the threads are joined.
   {
     const std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {

@@ -1,19 +1,30 @@
-// Fixed-size thread pool with a blocking parallel_for, used by the benchmark
-// harnesses to evaluate hundreds of independent scheduling instances.
+// Fixed-size thread pool with a blocking parallel_for and a submit/future
+// front-end, used by the benchmark harnesses (hundreds of independent
+// scheduling instances) and the planning service (src/service/).
 //
-// The pool follows the structured-parallelism idiom: parallel_for blocks
-// until every index has been processed, so callers never observe detached
-// work. Exceptions thrown by the body are captured and rethrown (first one
-// wins) on the calling thread.
+// Two idioms coexist on one task queue:
+//   * parallel_for — structured parallelism: blocks until every index has
+//     been processed, so callers never observe detached work. Exceptions
+//     thrown by the body are captured and rethrown (first one wins) on the
+//     calling thread.
+//   * submit — asynchronous tasks: returns a std::future for the task's
+//     result; exceptions propagate through the future. Shutdown is
+//     drain-then-stop: the destructor runs every task already queued before
+//     joining, so a future obtained from submit() is never silently
+//     abandoned (no broken_promise). submit() after shutdown has begun
+//     throws instead of enqueueing work that could never be drained safely.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace ooctree::util {
@@ -32,9 +43,22 @@ class ThreadPool {
   /// Blocks until all iterations are complete; rethrows the first exception.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Enqueues fn to run on a worker and returns a future for its result.
+  /// Exceptions thrown by fn surface through the future. Throws
+  /// std::runtime_error if the pool is shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  void enqueue(std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;

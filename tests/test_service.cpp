@@ -1,0 +1,373 @@
+// Planning-service suite: cache identity (cached == computed, bit for
+// bit), cross-source deduplication through Tree::canonical_hash, LRU
+// eviction, deterministic per-request seeding regardless of thread count
+// and submission order, request decoding (JSONL + CSV), failure responses,
+// and the parallel-replay path against direct simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "src/core/strategies.hpp"
+#include "src/core/tree_io.hpp"
+#include "src/parallel/parallel_sim.hpp"
+#include "src/service/plan_service.hpp"
+#include "src/service/request_io.hpp"
+#include "src/sparse/assembly_tree.hpp"
+#include "src/sparse/matrix_market.hpp"
+#include "src/sparse/ordering.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using service::PlanRequest;
+using service::PlanResponse;
+using service::PlanService;
+using service::Served;
+using service::ServiceConfig;
+using service::TreeSource;
+
+/// A request carrying `tree` inline as parent/weight vectors.
+PlanRequest parents_request(const core::Tree& tree, std::int64_t id, double memory_lb = 1.2) {
+  PlanRequest request;
+  request.id = id;
+  request.source = TreeSource::kParents;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    request.parent.push_back(tree.parent(static_cast<core::NodeId>(i)));
+    request.weight.push_back(tree.weight(static_cast<core::NodeId>(i)));
+  }
+  request.memory_lb = memory_lb;
+  return request;
+}
+
+core::Tree test_tree(std::uint64_t seed, std::size_t n = 60) {
+  util::Rng rng(seed);
+  return test::small_random_tree(n, 50, rng);
+}
+
+TEST(PlanService, CachedResponseIsBitIdentical) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanRequest request = parents_request(test_tree(1), 1);
+  const PlanResponse first = planner.plan(request);
+  const PlanResponse second = planner.plan(request);
+  ASSERT_TRUE(first.stats->ok) << first.stats->error;
+  EXPECT_EQ(first.served, Served::kComputed);
+  EXPECT_EQ(second.served, Served::kCached);
+  EXPECT_TRUE(service::identical(*first.stats, *second.stats));
+  // Stronger than equality: cache hits share the leader's object.
+  EXPECT_EQ(first.stats.get(), second.stats.get());
+}
+
+TEST(PlanService, CachedEqualsUncachedComputation) {
+  const PlanRequest request = parents_request(test_tree(2), 5);
+  PlanService cached(ServiceConfig{.threads = 1});
+  PlanService uncached(ServiceConfig{.threads = 1, .cache_capacity = 0, .coalesce = false});
+  (void)cached.plan(request);  // warm
+  const PlanResponse hit = cached.plan(request);
+  const PlanResponse raw = uncached.plan(request);
+  EXPECT_EQ(hit.served, Served::kCached);
+  EXPECT_EQ(raw.served, Served::kComputed);
+  EXPECT_TRUE(service::identical(*hit.stats, *raw.stats));
+}
+
+TEST(PlanService, SynthFingerprintServesWithoutMaterializing) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request;
+  request.id = 1;
+  request.nodes = 80;
+  request.seed = 42;  // explicit: duplicates share the spec
+  request.memory_lb = 1.3;
+  const PlanResponse first = planner.plan(request);
+  request.id = 2;  // different id, same value-determined spec
+  const PlanResponse second = planner.plan(request);
+  ASSERT_TRUE(first.stats->ok);
+  EXPECT_EQ(second.served, Served::kCached);
+  EXPECT_EQ(first.stats.get(), second.stats.get());
+  EXPECT_EQ(second.id, 2);  // per-request metadata still per-request
+}
+
+TEST(PlanService, DerivedStreamsMakeSeedZeroRequestsIndependent) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request;
+  request.nodes = 80;
+  request.seed = 0;  // derive from (service seed, id)
+  request.id = 1;
+  const PlanResponse a = planner.plan(request);
+  request.id = 2;
+  const PlanResponse b = planner.plan(request);
+  ASSERT_TRUE(a.stats->ok && b.stats->ok);
+  EXPECT_EQ(b.served, Served::kComputed);  // different stream, different tree
+  EXPECT_NE(a.stats->tree_hash, b.stats->tree_hash);
+}
+
+TEST(PlanService, CrossSourceDeduplicationThroughCanonicalHash) {
+  const core::Tree tree = test_tree(3);
+  const std::string path = ::testing::TempDir() + "service_dedup.tree";
+  core::save_tree(path, tree);
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse via_parents = planner.plan(parents_request(tree, 1));
+  PlanRequest file_request;
+  file_request.id = 2;
+  file_request.source = TreeSource::kTreeFile;
+  file_request.path = path;
+  file_request.memory_lb = 1.2;  // same resolved bound as parents_request
+  const PlanResponse via_file = planner.plan(file_request);
+  ASSERT_TRUE(via_parents.stats->ok) << via_parents.stats->error;
+  ASSERT_TRUE(via_file.stats->ok) << via_file.stats->error;
+  // File sources cannot be fingerprinted, but the canonical tree hash
+  // recognizes the identical instance and reuses the plan.
+  EXPECT_EQ(via_file.served, Served::kCached);
+  EXPECT_EQ(via_parents.stats.get(), via_file.stats.get());
+}
+
+TEST(PlanService, DeterministicAcrossThreadCountAndSubmissionOrder) {
+  std::vector<PlanRequest> batch;
+  for (int k = 0; k < 24; ++k) {
+    PlanRequest request;
+    request.id = k + 1;
+    request.nodes = 50 + static_cast<std::size_t>(k % 5) * 10;
+    request.seed = 0;  // derived stream: the determinism contract under test
+    request.memory_lb = 1.1 + 0.1 * (k % 3);
+    request.strategy =
+        k % 2 == 0 ? core::Strategy::kRecExpand : core::Strategy::kPostOrderMinIo;
+    batch.push_back(request);
+  }
+
+  PlanService serial(ServiceConfig{.threads = 1});
+  std::vector<std::shared_ptr<const service::PlanStats>> expected(batch.size());
+  for (const PlanRequest& request : batch)
+    expected[static_cast<std::size_t>(request.id) - 1] = serial.plan(request).stats;
+
+  std::vector<PlanRequest> shuffled = batch;
+  std::mt19937_64 shuffle_rng(7);
+  std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+  PlanService threaded(ServiceConfig{.threads = 8});
+  auto futures = threaded.submit_batch(shuffled);
+  for (std::size_t k = 0; k < shuffled.size(); ++k) {
+    const PlanResponse response = futures[k].get();
+    const auto& want = *expected[static_cast<std::size_t>(response.id) - 1];
+    EXPECT_TRUE(service::identical(*response.stats, want))
+        << "request id " << response.id << " diverged across scheduling";
+  }
+}
+
+TEST(PlanService, DuplicateConcurrentRequestsComputeOnce) {
+  PlanService planner(ServiceConfig{.threads = 4});
+  PlanRequest request;
+  request.nodes = 300;
+  request.seed = 99;
+  request.memory_lb = 1.1;
+  std::vector<PlanRequest> batch;
+  for (int k = 0; k < 12; ++k) {
+    request.id = k + 1;
+    batch.push_back(request);
+  }
+  auto futures = planner.submit_batch(batch);
+  std::shared_ptr<const service::PlanStats> first;
+  for (auto& future : futures) {
+    const PlanResponse response = future.get();
+    ASSERT_TRUE(response.stats->ok);
+    if (first == nullptr) first = response.stats;
+    EXPECT_EQ(response.stats.get(), first.get());  // one shared computation
+  }
+  const service::ServiceStats stats = planner.stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cached + stats.coalesced, 11u);
+}
+
+TEST(PlanService, LruEvictsUnderTinyCapacity) {
+  PlanService planner(ServiceConfig{.threads = 1, .cache_capacity = 1, .cache_shards = 1});
+  const PlanRequest a = parents_request(test_tree(10), 1);
+  const PlanRequest b = parents_request(test_tree(11), 2);
+  (void)planner.plan(a);
+  (void)planner.plan(b);  // evicts a (capacity 1)
+  const PlanResponse again = planner.plan(a);
+  EXPECT_EQ(again.served, Served::kComputed);
+  EXPECT_GE(planner.stats().cache.evictions, 1u);
+}
+
+TEST(PlanService, AbsoluteBoundBelowLbFailsCleanly) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request = parents_request(test_tree(4), 1);
+  request.memory = 1;  // below LB for any nontrivial tree
+  const PlanResponse response = planner.plan(request);
+  EXPECT_FALSE(response.stats->ok);
+  EXPECT_NE(response.stats->error.find("below the feasibility bound"), std::string::npos);
+  EXPECT_EQ(planner.stats().failed, 1u);
+}
+
+TEST(PlanService, MissingFileFailsAndIsNotCached) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request;
+  request.id = 1;
+  request.source = TreeSource::kTreeFile;
+  request.path = ::testing::TempDir() + "no_such_instance.tree";
+  EXPECT_FALSE(planner.plan(request).stats->ok);
+  EXPECT_FALSE(planner.plan(request).stats->ok);
+  EXPECT_EQ(planner.stats().computed, 2u);  // failures never populate the cache
+  EXPECT_EQ(planner.stats().cached, 0u);
+}
+
+TEST(PlanService, ReplayMatchesDirectParallelSimulation) {
+  const core::Tree tree = test_tree(5, 80);
+  PlanRequest request = parents_request(tree, 1, 1.3);
+  parallel::ParallelConfig pc;
+  pc.workers = 3;
+  pc.priority = parallel::Priority::kSequentialOrder;
+  request.parallel = pc;
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse response = planner.plan(request);
+  ASSERT_TRUE(response.stats->ok) << response.stats->error;
+  ASSERT_TRUE(response.stats->replayed);
+
+  const core::Weight memory = response.stats->memory;
+  const auto direct_plan = core::run_strategy(core::Strategy::kRecExpand, tree, memory);
+  pc.memory = memory;
+  const auto direct = parallel::simulate_parallel(tree, pc, direct_plan.schedule);
+  EXPECT_EQ(response.stats->schedule, direct_plan.schedule);
+  EXPECT_EQ(response.stats->makespan, direct.makespan);
+  EXPECT_EQ(response.stats->parallel_io, direct.io_volume);
+  EXPECT_EQ(response.stats->replay_feasible, direct.feasible);
+}
+
+TEST(PlanService, MatrixMarketRequestMatchesDirectPipeline) {
+  const std::string path = ::testing::TempDir() + "service_instance.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        << "6 6 11\n"
+        << "1 1\n2 2\n3 3\n4 4\n5 5\n6 6\n"
+        << "2 1\n3 2\n5 4\n6 5\n6 1\n";
+  }
+  PlanRequest request;
+  request.id = 1;
+  request.source = TreeSource::kMatrixMarket;
+  request.path = path;
+  request.memory_lb = 1.0;
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse response = planner.plan(request);
+  ASSERT_TRUE(response.stats->ok) << response.stats->error;
+
+  const auto pattern = sparse::load_matrix_market(path);
+  const core::Tree tree =
+      sparse::assembly_tree(pattern.permuted(sparse::minimum_degree(pattern)));
+  EXPECT_EQ(response.stats->tree_hash, tree.canonical_hash());
+  EXPECT_EQ(response.stats->nodes, tree.size());
+  EXPECT_EQ(response.stats->lb, tree.min_feasible_memory());
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding.
+
+TEST(RequestIo, ParsesJsonlFields) {
+  const auto request = service::request_from_json(
+      R"({"id": 7, "nodes": 120, "w_lo": 2, "w_hi": 9, "seed": 5, "memory_lb": 1.5, )"
+      R"("strategy": "optminmem", "workers": 4, "priority": "critical-path", "evict": "lru", )"
+      R"("backfill": false})");
+  EXPECT_EQ(request.id, 7);
+  EXPECT_EQ(request.source, TreeSource::kSynth);
+  EXPECT_EQ(request.nodes, 120u);
+  EXPECT_EQ(request.w_lo, 2);
+  EXPECT_EQ(request.w_hi, 9);
+  EXPECT_EQ(request.seed, 5u);
+  EXPECT_DOUBLE_EQ(request.memory_lb, 1.5);
+  EXPECT_EQ(request.strategy, core::Strategy::kOptMinMem);
+  ASSERT_TRUE(request.parallel.has_value());
+  EXPECT_EQ(request.parallel->workers, 4);
+  EXPECT_EQ(request.parallel->priority, parallel::Priority::kCriticalPath);
+  EXPECT_EQ(request.parallel->evict, core::EvictionPolicy::kLru);
+  EXPECT_FALSE(request.parallel->backfill);
+}
+
+TEST(RequestIo, ParsesParentArraysAndInfersSource) {
+  const auto request = service::request_from_json(
+      R"({"parent": [-1, 0, 0], "weight": [5, 3, 2], "memory": 10})");
+  EXPECT_EQ(request.source, TreeSource::kParents);
+  EXPECT_EQ(request.parent, (std::vector<core::NodeId>{-1, 0, 0}));
+  EXPECT_EQ(request.weight, (std::vector<core::Weight>{5, 3, 2}));
+  EXPECT_EQ(request.memory, 10);
+}
+
+TEST(RequestIo, InfersFileSourcesFromPath) {
+  EXPECT_EQ(service::request_from_json(R"({"path": "a.mtx"})").source,
+            TreeSource::kMatrixMarket);
+  EXPECT_EQ(service::request_from_json(R"({"path": "a.tree"})").source, TreeSource::kTreeFile);
+}
+
+TEST(RequestIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": })"), std::runtime_error);
+  EXPECT_THROW((void)service::request_from_json(R"({"frobnicate": 1})"), std::runtime_error);
+  EXPECT_THROW((void)service::request_from_json(R"({"source": "tree"})"), std::runtime_error);
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": 5} trailing)"),
+               std::runtime_error);
+  // Replay knobs without workers would silently drop the replay block.
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": 5, "evict": "lru"})"),
+               std::runtime_error);
+  std::istringstream bad("{\"nodes\": 10}\n{\"oops\n");
+  EXPECT_THROW((void)service::read_requests_jsonl(bad), std::runtime_error);
+  // CSV booleans must be 1/0/true/false, not a silent false.
+  std::istringstream bad_bool("nodes,workers,backfill\n8,2,ture\n");
+  EXPECT_THROW((void)service::read_requests_csv(bad_bool), std::runtime_error);
+}
+
+TEST(RequestIo, NameParsingIsCaseInsensitive) {
+  const auto request = service::request_from_json(
+      R"({"nodes": 8, "model": "Max", "strategy": "RECEXPAND", "workers": 2, "evict": "LRU"})");
+  EXPECT_EQ(request.model, core::MemoryModel::kMaxInOut);
+  EXPECT_EQ(request.strategy, core::Strategy::kRecExpand);
+  EXPECT_EQ(request.parallel->evict, core::EvictionPolicy::kLru);
+}
+
+TEST(RequestIo, ReadsJsonlStreamWithCommentsAndFallbackIds) {
+  std::istringstream in(
+      "# demo batch\n"
+      "{\"nodes\": 40}\n"
+      "\n"
+      "{\"id\": 9, \"nodes\": 50}\n");
+  const auto requests = service::read_requests_jsonl(in);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].id, 2);  // line ordinal
+  EXPECT_EQ(requests[0].nodes, 40u);
+  EXPECT_EQ(requests[1].id, 9);
+}
+
+TEST(RequestIo, ReadsCsvBatches) {
+  std::istringstream in(
+      "id,nodes,seed,memory_lb,strategy,workers\n"
+      "1,64,11,1.5,recexpand,\n"
+      "2,128,12,,postorder,2\n");
+  const auto requests = service::read_requests_csv(in);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].nodes, 64u);
+  EXPECT_DOUBLE_EQ(requests[0].memory_lb, 1.5);
+  EXPECT_FALSE(requests[0].parallel.has_value());
+  EXPECT_EQ(requests[1].strategy, core::Strategy::kPostOrderMinIo);
+  EXPECT_DOUBLE_EQ(requests[1].memory_lb, 2.0);  // empty cell keeps the default
+  ASSERT_TRUE(requests[1].parallel.has_value());
+  EXPECT_EQ(requests[1].parallel->workers, 2);
+}
+
+TEST(RequestIo, AutoDetectsFormat) {
+  const std::string jsonl_path = ::testing::TempDir() + "batch_auto.jsonl";
+  {
+    std::ofstream out(jsonl_path);
+    out << "{\"nodes\": 32}\n";
+  }
+  const std::string csv_path = ::testing::TempDir() + "batch_auto.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "nodes\n48\n";
+  }
+  EXPECT_EQ(service::load_requests(jsonl_path)[0].nodes, 32u);
+  EXPECT_EQ(service::load_requests(csv_path)[0].nodes, 48u);
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -1,0 +1,112 @@
+// util::ThreadPool submit/future contract: result delivery, exception
+// propagation, the 0-thread fallback, drain-then-stop shutdown, and a
+// multi-producer stress test (exercised under the asan-ubsan preset like
+// every suite). parallel_for basics live in test_util.cpp; this suite
+// covers the asynchronous side added for the planning service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace ooctree {
+namespace {
+
+TEST(ThreadPoolSubmit, FuturesDeliverTheirOwnResults) {
+  util::ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) futures.push_back(pool.submit([i] { return i * i; }));
+  // Each future resolves to its own task's value, independent of the order
+  // the workers picked the tasks up in.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolSubmit, VoidTasksComplete) {
+  util::ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([&hits] { hits.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ThreadPoolSubmit, ExceptionsPropagateThroughTheFuture) {
+  util::ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolSubmit, ParallelForFirstExceptionWinsWhileFuturesKeepWorking) {
+  // The two idioms share one queue: a throwing parallel_for must not
+  // disturb submitted futures, and the parallel_for caller still gets the
+  // "first one wins" contract.
+  util::ThreadPool pool(4);
+  auto future = pool.submit([] { return 41; });
+  EXPECT_THROW(
+      pool.parallel_for(64, [](std::size_t i) { if (i % 2 == 0) throw std::logic_error("even"); }),
+      std::logic_error);
+  EXPECT_EQ(future.get(), 41);
+}
+
+TEST(ThreadPoolSubmit, ZeroThreadFallbackUsesHardwareConcurrency) {
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);  // never a zero-worker pool
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolSubmit, ShutdownDrainsQueuedFutures) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<int>> futures;
+  {
+    // One slow worker and a deep queue: most tasks are still queued when
+    // the destructor runs. Drain-then-stop means every one still executes.
+    util::ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(pool.submit([i, &completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        completed.fetch_add(1);
+        return i;
+      }));
+  }
+  EXPECT_EQ(completed.load(), 50);
+  for (int i = 0; i < 50; ++i) {
+    auto& f = futures[static_cast<std::size_t>(i)];
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get(), i);
+  }
+}
+
+TEST(ThreadPoolSubmit, MultiProducerStress) {
+  util::ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      std::vector<std::future<int>> futures;
+      futures.reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        futures.push_back(pool.submit([value] { return value; }));
+      }
+      for (auto& f : futures) sum.fetch_add(f.get());
+    });
+  }
+  for (auto& t : producers) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ooctree

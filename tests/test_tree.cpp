@@ -164,5 +164,39 @@ TEST(TreeIo, RejectsGarbage) {
   EXPECT_THROW(core::read_tree(cyclic), std::runtime_error);
 }
 
+TEST(TreeHash, IndependentOfConstructionRoute) {
+  const Tree direct = make_tree({{-1, 4}, {0, 2}, {0, 3}, {2, 5}});
+  const Tree rebuilt = Tree::from_parents({-1, 0, 0, 2}, {4, 2, 3, 5});
+  EXPECT_EQ(direct.canonical_hash(), rebuilt.canonical_hash());
+
+  // A serialization round-trip preserves the logical content exactly.
+  std::ostringstream out;
+  core::write_tree(out, direct);
+  std::istringstream in(out.str());
+  EXPECT_EQ(core::read_tree(in).canonical_hash(), direct.canonical_hash());
+
+  // Converting the memory model there and back restores the hash too.
+  const Tree sum = direct.with_memory_model(core::MemoryModel::kSumInOut);
+  EXPECT_EQ(sum.with_memory_model(core::MemoryModel::kMaxInOut).canonical_hash(),
+            direct.canonical_hash());
+}
+
+TEST(TreeHash, DistinguishesContentModelAndNumbering) {
+  const Tree base = make_tree({{-1, 4}, {0, 2}, {0, 3}});
+  const Tree reweighted = make_tree({{-1, 4}, {0, 2}, {0, 7}});
+  EXPECT_NE(base.canonical_hash(), reweighted.canonical_hash());
+
+  const Tree reshaped = make_tree({{-1, 4}, {0, 2}, {1, 3}});
+  EXPECT_NE(base.canonical_hash(), reshaped.canonical_hash());
+
+  EXPECT_NE(base.canonical_hash(),
+            base.with_memory_model(core::MemoryModel::kSumInOut).canonical_hash());
+
+  // Isomorphic but renumbered trees hash differently on purpose: cached
+  // schedules and I/O functions are expressed in node ids.
+  const Tree renumbered = make_tree({{-1, 4}, {0, 3}, {0, 2}});
+  EXPECT_NE(base.canonical_hash(), renumbered.canonical_hash());
+}
+
 }  // namespace
 }  // namespace ooctree
