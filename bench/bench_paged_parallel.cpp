@@ -1,0 +1,321 @@
+// Eviction-policy ablation on the paged parallel engine: the ROADMAP's
+// "pager/parallel convergence" payoff. simulate_parallel_paged runs the
+// policy ablation (Belady / LRU / FIFO / Random / LargestFirst) at paper
+// scale with workers {1, 2, 4, 8} — the sweep the sequential pager
+// (bench_ablation_eviction) could only run at workers = 1 — on SYNTH
+// instances with page_size 32 at a tight memory bound, plus a read-cost
+// column (the iosim::DiskModel folded into the makespan, so spilled pages
+// delay dependent starts).
+//
+// Every instance is differential-checked before it is measured:
+//   * page_size = 1 + free reads must be bit-identical to
+//     simulate_parallel (the unit engine is that specialization);
+//   * workers = 1 + sequential order + no backfill must reproduce
+//     iosim::run_pager's page I/O on the same schedule for every
+//     deterministic policy.
+// Acceptance: both differential checks pass on every instance, and at the
+// sequential point Belady's written-page count is the policy minimum
+// (the page-granular content of the paper's Theorem 1).
+//
+// Writes bench_paged_parallel.csv (one row per run) and
+// bench_paged_parallel.json (aggregated; the committed baseline is
+// BENCH_paged.json at the repository root, refreshed by explicit copy).
+// The JSON records "cores" — simulated metrics are deterministic and do
+// not depend on it, but single-core runners are the norm in CI and any
+// future wall-clock threshold must be capped accordingly.
+//
+// Scales: --scale quick (CI smoke) | default | paper (3000-node SYNTH).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiment.hpp"
+#include "src/core/minmem_postorder.hpp"
+#include "src/iosim/pager.hpp"
+#include "src/parallel/parallel_sim.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+using namespace ooctree;
+using core::EvictionPolicy;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+using parallel::PagedParallelConfig;
+using parallel::PagedParallelResult;
+using parallel::ParallelConfig;
+using parallel::ParallelResult;
+using parallel::Priority;
+
+constexpr Weight kPageSize = 32;
+
+/// The read-cost model of the "disk" column: half a time unit of latency
+/// per transfer, 64 memory units per time unit of bandwidth — slow enough
+/// that heavy spilling is visible in the makespan, fast enough that the
+/// compute still dominates at low I/O.
+const iosim::DiskModel kDisk{0.5, 64.0};
+
+bool identical_base(const ParallelResult& a, const ParallelResult& b) {
+  return a.feasible == b.feasible && a.makespan == b.makespan && a.io_volume == b.io_volume &&
+         a.peak_resident == b.peak_resident && a.start_order == b.start_order && a.io == b.io &&
+         a.failed_starts == b.failed_starts;
+}
+
+struct Aggregate {
+  std::size_t n = 0;
+  int workers = 0;
+  EvictionPolicy policy = EvictionPolicy::kBelady;
+  double makespan_total = 0.0;
+  double makespan_disk_total = 0.0;
+  double read_stall_total = 0.0;
+  std::int64_t pages_written_total = 0;
+  std::int64_t pages_read_total = 0;
+  double utilization_total = 0.0;
+  double seconds_total = 0.0;
+  int reps = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+
+  std::vector<std::size_t> sizes;
+  int reps = 1;
+  const char* scale_name = "default";
+  switch (scale) {
+    case bench::Scale::kQuick:
+      sizes = {500};
+      reps = 1;
+      scale_name = "quick";
+      break;
+    case bench::Scale::kDefault:
+      sizes = {1000, 2000};
+      reps = 1;
+      break;
+    case bench::Scale::kPaper:
+      sizes = {1000, 3000};
+      reps = 2;
+      scale_name = "paper";
+      break;
+  }
+  const std::vector<int> worker_counts{1, 2, 4, 8};
+  const std::vector<EvictionPolicy> policies{
+      EvictionPolicy::kBelady, EvictionPolicy::kLru, EvictionPolicy::kFifo,
+      EvictionPolicy::kRandom, EvictionPolicy::kLargestFirst};
+  const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::printf("== paged parallel engine: eviction-policy ablation ==\n");
+  std::printf("scale=%s  sizes=%zu..%zu  page=%lld  M=max(1.1*LB, page floor)  cores=%zu\n\n",
+              scale_name, sizes.front(), sizes.back(), (long long)kPageSize, cores);
+
+  util::CsvWriter csv("bench_paged_parallel.csv",
+                      {"n", "memory", "frames", "workers", "policy", "rep", "seconds",
+                       "makespan", "makespan_disk", "read_stall", "pages_written",
+                       "pages_read", "failed_starts", "utilization"});
+
+  bool differential_pass = true;
+  bool belady_min_at_seq = true;
+  bool all_feasible = true;  // infeasibility means the M choice is wrong, not the engines
+  std::vector<Aggregate> aggregates;
+
+  for (const std::size_t n : sizes) {
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Rng rng(880001u + 1000003u * static_cast<std::uint64_t>(n) +
+                    17u * static_cast<std::uint64_t>(rep));
+      const Tree t = treegen::synth_instance(n, 1, 100, rng);
+      const Weight lb = t.min_feasible_memory();
+      const Weight floor = iosim::min_feasible_frames(t, kPageSize) * kPageSize;
+      const Weight memory =
+          std::max(static_cast<Weight>(static_cast<double>(lb) * 1.1), floor);
+      const Schedule reference = core::postorder_minmem(t).schedule;
+
+      // Differential check 1: the unit engine is the page_size = 1
+      // specialization — pin it on this instance before measuring.
+      {
+        ParallelConfig c;
+        c.workers = 4;
+        c.memory = memory;
+        PagedParallelConfig paged;
+        paged.base = c;
+        paged.page_size = 1;
+        if (!identical_base(parallel::simulate_parallel_paged(t, paged).base,
+                            parallel::simulate_parallel(t, c))) {
+          std::printf("DIFFERENTIAL MISMATCH (unit engine) at n=%zu rep=%d\n", n, rep);
+          differential_pass = false;
+        }
+      }
+
+      // Differential check 2: one worker on the reference order must
+      // reproduce the sequential pager's page I/O, per policy.
+      for (const EvictionPolicy policy :
+           {EvictionPolicy::kBelady, EvictionPolicy::kLru, EvictionPolicy::kFifo,
+            EvictionPolicy::kLargestFirst}) {
+        iosim::PagerConfig pc;
+        pc.page_size = kPageSize;
+        pc.memory = memory;
+        pc.policy = policy;
+        const iosim::PagerStats pager = iosim::run_pager(t, reference, pc);
+        ParallelConfig base;
+        base.workers = 1;
+        base.memory = memory;
+        base.priority = Priority::kSequentialOrder;
+        base.backfill = false;
+        base.evict = policy;
+        PagedParallelConfig paged;
+        paged.base = base;
+        paged.page_size = kPageSize;
+        const PagedParallelResult r = parallel::simulate_parallel_paged(t, paged, reference);
+        if (r.base.feasible != pager.feasible ||
+            r.pages_written != pager.pages_written || r.pages_read != pager.pages_read ||
+            r.peak_frames_used != pager.peak_frames_used) {
+          std::printf("DIFFERENTIAL MISMATCH (pager) at n=%zu rep=%d policy=%s\n", n, rep,
+                      core::eviction_policy_name(policy).c_str());
+          differential_pass = false;
+        }
+      }
+
+      // Theorem 1's practical content at the sequential point: Belady
+      // writes no more pages than any other policy.
+      {
+        std::int64_t belady_written = -1;
+        for (const EvictionPolicy policy : policies) {
+          ParallelConfig base;
+          base.workers = 1;
+          base.memory = memory;
+          base.priority = Priority::kSequentialOrder;
+          base.backfill = false;
+          base.evict = policy;
+          PagedParallelConfig paged;
+          paged.base = base;
+          paged.page_size = kPageSize;
+          const PagedParallelResult r = parallel::simulate_parallel_paged(t, paged, reference);
+          if (policy == EvictionPolicy::kBelady) belady_written = r.pages_written;
+          if (belady_written >= 0 && r.pages_written < belady_written) {
+            std::printf("BELADY BEATEN at n=%zu rep=%d by %s (%lld < %lld)\n", n, rep,
+                        core::eviction_policy_name(policy).c_str(),
+                        (long long)r.pages_written, (long long)belady_written);
+            belady_min_at_seq = false;
+          }
+        }
+      }
+
+      // The ablation grid: workers x policies, free reads and disk-costed.
+      for (const int workers : worker_counts) {
+        for (const EvictionPolicy policy : policies) {
+          ParallelConfig base;
+          base.workers = workers;
+          base.memory = memory;
+          base.evict = policy;
+          PagedParallelConfig paged;
+          paged.base = base;
+          paged.page_size = kPageSize;
+
+          util::Stopwatch sw;
+          const PagedParallelResult free_reads =
+              parallel::simulate_parallel_paged(t, paged, reference);
+          const double seconds = sw.seconds();
+          paged.disk = kDisk;
+          const PagedParallelResult disk =
+              parallel::simulate_parallel_paged(t, paged, reference);
+          if (!free_reads.base.feasible || !disk.base.feasible) {
+            std::printf("INFEASIBLE at n=%zu workers=%d policy=%s\n", n, workers,
+                        core::eviction_policy_name(policy).c_str());
+            all_feasible = false;
+            continue;
+          }
+
+          Aggregate* agg = nullptr;
+          for (Aggregate& a : aggregates)
+            if (a.n == n && a.workers == workers && a.policy == policy) agg = &a;
+          if (agg == nullptr) {
+            aggregates.push_back(Aggregate{n, workers, policy});
+            agg = &aggregates.back();
+          }
+          agg->makespan_total += free_reads.base.makespan;
+          agg->makespan_disk_total += disk.base.makespan;
+          agg->read_stall_total += disk.read_stall;
+          agg->pages_written_total += free_reads.pages_written;
+          agg->pages_read_total += free_reads.pages_read;
+          agg->utilization_total += free_reads.base.utilization(workers);
+          agg->seconds_total += seconds;
+          ++agg->reps;
+
+          csv.row({static_cast<std::int64_t>(n), memory, free_reads.frames, workers,
+                   core::eviction_policy_name(policy), rep, seconds, free_reads.base.makespan,
+                   disk.base.makespan, disk.read_stall, free_reads.pages_written,
+                   free_reads.pages_read, free_reads.base.failed_starts,
+                   free_reads.base.utilization(workers)});
+        }
+      }
+    }
+  }
+
+  std::printf("%-7s %-3s %-13s %12s %14s %12s %12s %8s\n", "n", "p", "policy", "makespan",
+              "makespan+disk", "pages_w", "pages_r", "util");
+  for (const Aggregate& a : aggregates) {
+    std::printf("%-7zu %-3d %-13s %12.0f %14.0f %12.1f %12.1f %7.0f%%\n", a.n, a.workers,
+                core::eviction_policy_name(a.policy).c_str(), a.makespan_total / a.reps,
+                a.makespan_disk_total / a.reps,
+                static_cast<double>(a.pages_written_total) / a.reps,
+                static_cast<double>(a.pages_read_total) / a.reps,
+                100.0 * a.utilization_total / a.reps);
+  }
+
+  const bool pass = differential_pass && belady_min_at_seq && all_feasible;
+
+  // Written under a generated name (gitignored, like the CSV) so a casual
+  // run from the repo root cannot clobber the committed baseline; updating
+  // BENCH_paged.json at the repo root is an explicit copy.
+  std::FILE* json = std::fopen("bench_paged_parallel.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot write bench_paged_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"paged_parallel\",\n  \"scale\": \"%s\",\n", scale_name);
+  std::fprintf(json,
+               "  \"dataset\": \"SYNTH (uniform binary, weights 1..100), page_size %lld, "
+               "M = max(1.1*LB, min_feasible_frames * page)\",\n",
+               (long long)kPageSize);
+  std::fprintf(json, "  \"cores\": %zu,\n", cores);
+  std::fprintf(json,
+               "  \"disk_model\": {\"latency\": %.3f, \"bandwidth_units_per_time\": %.1f},\n",
+               kDisk.latency_s, kDisk.bandwidth_per_s);
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t k = 0; k < aggregates.size(); ++k) {
+    const Aggregate& a = aggregates[k];
+    std::fprintf(json,
+                 "    {\"n\": %zu, \"workers\": %d, \"policy\": \"%s\", "
+                 "\"mean_makespan\": %.2f, \"mean_makespan_disk\": %.2f, "
+                 "\"mean_read_stall\": %.2f, \"mean_pages_written\": %.1f, "
+                 "\"mean_pages_read\": %.1f, \"mean_utilization\": %.4f, \"reps\": %d}%s\n",
+                 a.n, a.workers, core::eviction_policy_name(a.policy).c_str(),
+                 a.makespan_total / a.reps, a.makespan_disk_total / a.reps,
+                 a.read_stall_total / a.reps,
+                 static_cast<double>(a.pages_written_total) / a.reps,
+                 static_cast<double>(a.pages_read_total) / a.reps,
+                 a.utilization_total / a.reps, a.reps,
+                 k + 1 < aggregates.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"acceptance\": {\"differential_pass\": %s, \"belady_min_at_seq\": %s, "
+               "\"all_feasible\": %s, \"pass\": %s}\n}\n",
+               differential_pass ? "true" : "false", belady_min_at_seq ? "true" : "false",
+               all_feasible ? "true" : "false", pass ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("\nacceptance: differential %s, Belady-minimal-at-sequential %s, "
+              "all-feasible %s — %s\n",
+              differential_pass ? "PASS" : "FAIL", belady_min_at_seq ? "PASS" : "FAIL",
+              all_feasible ? "PASS" : "FAIL", pass ? "PASS" : "FAIL");
+  std::printf("results written to bench_paged_parallel.csv and bench_paged_parallel.json\n");
+  std::printf("(to refresh the committed baseline: cp bench_paged_parallel.json "
+              "<repo>/BENCH_paged.json)\n");
+  return pass ? 0 : 1;
+}

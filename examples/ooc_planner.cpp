@@ -24,6 +24,7 @@
 #include "src/core/strategies.hpp"
 #include "src/core/local_search.hpp"
 #include "src/core/tree_io.hpp"
+#include "src/iosim/pager.hpp"
 #include "src/parallel/parallel_sim.hpp"
 #include "src/service/plan_service.hpp"
 #include "src/service/request_io.hpp"
@@ -54,6 +55,10 @@ void usage(const char* prog) {
       "  --workers N         also simulate N-worker parallel execution of the plan\n"
       "  --evict P           parallel eviction policy: belady (default) | lru |\n"
       "                      fifo | random | largest\n"
+      "  --page-size P       simulate the plan page-granularly (P units per page)\n"
+      "                      through the paged parallel engine; combine with\n"
+      "                      --workers for a parallel paged replay (default 1\n"
+      "                      worker, i.e. the sequential pager's accounting)\n"
       "  --validate FILE     check a previously written plan against the tree\n"
       "  --out FILE          write the plan there instead of stdout\n",
       prog);
@@ -208,22 +213,50 @@ int main(int argc, char** argv) {
 
     // Optional: replay the plan through the shared-memory parallel engine
     // to see what the schedule costs once several workers contend for M.
-    if (args.has("workers")) {
+    // --page-size switches to the paged engine (page-granular residency,
+    // write-at-most-once accounting); alone it defaults to one worker,
+    // which is exactly the sequential pager's model.
+    if (args.has("workers") || args.has("page-size")) {
       parallel::ParallelConfig pc;
-      pc.workers = static_cast<int>(args.get_int("workers", 2));
+      pc.workers = static_cast<int>(args.get_int("workers", args.has("page-size") ? 1 : 2));
       pc.memory = memory;
       pc.priority = parallel::Priority::kSequentialOrder;
       pc.evict = core::eviction_policy_from_name(args.get("evict", "belady"));
-      const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);
-      if (!par.feasible) {
-        std::fprintf(stderr, "parallel replay infeasible under M=%lld\n", (long long)memory);
-        return 1;
+      if (args.has("page-size")) {
+        parallel::PagedParallelConfig paged;
+        paged.base = pc;
+        paged.page_size = args.get_int("page-size", 1);
+        const auto par = parallel::simulate_parallel_paged(tree, paged, plan.schedule);
+        if (!par.base.feasible) {
+          // Per-child page rounding raises the feasibility floor above LB.
+          std::fprintf(stderr,
+                       "paged replay infeasible: %lld frames of %lld units, need >= %lld "
+                       "frames (M >= %lld)\n",
+                       (long long)par.frames, (long long)paged.page_size,
+                       (long long)iosim::min_feasible_frames(tree, paged.page_size),
+                       (long long)(iosim::min_feasible_frames(tree, paged.page_size) *
+                                   paged.page_size));
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "paged replay (%d workers, %s eviction, page %lld, %lld frames): "
+                     "makespan %.0f, %lld pages written, %lld read, utilization %.0f%%\n",
+                     pc.workers, core::eviction_policy_name(pc.evict).c_str(),
+                     (long long)paged.page_size, (long long)par.frames, par.base.makespan,
+                     (long long)par.pages_written, (long long)par.pages_read,
+                     100.0 * par.base.utilization(pc.workers));
+      } else {
+        const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);
+        if (!par.feasible) {
+          std::fprintf(stderr, "parallel replay infeasible under M=%lld\n", (long long)memory);
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "parallel replay (%d workers, %s eviction): makespan %.0f, "
+                     "%lld I/O units, utilization %.0f%%\n",
+                     pc.workers, core::eviction_policy_name(pc.evict).c_str(), par.makespan,
+                     (long long)par.io_volume, 100.0 * par.utilization(pc.workers));
       }
-      std::fprintf(stderr,
-                   "parallel replay (%d workers, %s eviction): makespan %.0f, "
-                   "%lld I/O units, utilization %.0f%%\n",
-                   pc.workers, core::eviction_policy_name(pc.evict).c_str(), par.makespan,
-                   (long long)par.io_volume, 100.0 * par.utilization(pc.workers));
     }
     return 0;
   } catch (const std::exception& e) {

@@ -59,6 +59,7 @@ std::vector<service::PlanRequest> demo_batch() {
       pc.workers = 4;
       pc.priority = parallel::Priority::kSequentialOrder;
       request.parallel = pc;
+      if (k % 8 == 0) request.page_size = 16;  // exercise the paged replay
     }
     requests.push_back(request);
   }
@@ -100,7 +101,8 @@ int main(int argc, char** argv) {
       csv.reset(new util::CsvWriter(
           args.get("out", ""),
           {"id", "served", "ok", "nodes", "lb", "memory", "strategy", "io_volume",
-           "peak_resident", "workers", "makespan", "parallel_io", "seconds"}));
+           "peak_resident", "workers", "makespan", "parallel_io", "page_size",
+           "pages_written", "pages_read", "seconds"}));
 
     const bool quiet = args.has("quiet");
     const std::size_t total = requests.size();
@@ -119,9 +121,13 @@ int main(int argc, char** argv) {
                       stats.nodes, (long long)stats.memory,
                       core::strategy_name(stats.strategy).c_str(), (long long)stats.io_volume,
                       (long long)stats.peak_resident);
-          if (stats.replayed)
+          if (stats.replayed) {
             std::printf(" workers=%d makespan=%.0f par_io=%lld", stats.workers, stats.makespan,
                         (long long)stats.parallel_io);
+            if (stats.page_size > 0)
+              std::printf(" page=%lld pw=%lld pr=%lld", (long long)stats.page_size,
+                          (long long)stats.pages_written, (long long)stats.pages_read);
+          }
           std::printf(" (%.2f ms)\n", response.seconds * 1e3);
         } else {
           std::printf("req %-6lld FAILED: %s\n", (long long)response.id, stats.error.c_str());
@@ -131,7 +137,8 @@ int main(int argc, char** argv) {
         csv->row({response.id, service::served_name(response.served), stats.ok ? 1 : 0,
                   static_cast<std::int64_t>(stats.nodes), stats.lb, stats.memory,
                   core::strategy_name(stats.strategy), stats.io_volume, stats.peak_resident,
-                  stats.workers, stats.makespan, stats.parallel_io, response.seconds});
+                  stats.workers, stats.makespan, stats.parallel_io, stats.page_size,
+                  stats.pages_written, stats.pages_read, response.seconds});
     }
     const double seconds = wall.seconds();
 

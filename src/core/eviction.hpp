@@ -16,6 +16,18 @@
 // only decides which end of the key order is evicted first. Ties are broken
 // toward the smaller node id, so victim sequences are deterministic and the
 // scan-based reference engines can reproduce them bit-for-bit.
+//
+// Units and invariants. The index holds node ids only — whether an entry's
+// "size" means memory units (simulate_parallel at page_size 1) or pages
+// (run_pager, simulate_parallel_paged) is the caller's convention; the key
+// passed to insert() must be in the caller's own unit too (LargestFirst
+// re-keys with resident *pages* in the paged engines). The index never
+// removes a victim by itself: pick() is read-only, and the caller either
+// erases (full eviction) or re-keys (partial eviction), so the caller's
+// residency accounting is the single source of truth. Complexity:
+// insert/erase/pick are O(log n) amortized via lazy deletion (O(1) for
+// kRandom's dense set); a simulation doing E evictions over n nodes pays
+// O((n + E) log n) total in the index.
 #pragma once
 
 #include <cstdint>

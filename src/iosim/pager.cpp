@@ -21,8 +21,6 @@ namespace {
 
 std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 
-Weight div_ceil(Weight a, Weight b) { return (a + b - 1) / b; }
-
 /// Per-datum pager state.
 struct DatumState {
   Weight resident_pages = 0;  ///< pages currently in frames
@@ -33,16 +31,18 @@ struct DatumState {
 
 }  // namespace
 
+Weight task_frames(const Tree& tree, NodeId node, Weight page_size) {
+  if (page_size <= 0) throw std::invalid_argument("task_frames: bad page size");
+  Weight child_pages = 0;
+  for (const NodeId c : tree.children(node)) child_pages += page_count(tree.weight(c), page_size);
+  return std::max(child_pages, page_count(tree.wbar(node), page_size));
+}
+
 Weight min_feasible_frames(const Tree& tree, Weight page_size) {
   if (page_size <= 0) throw std::invalid_argument("min_feasible_frames: bad page size");
   Weight frames = 0;
-  for (std::size_t i = 0; i < tree.size(); ++i) {
-    const auto id = static_cast<NodeId>(i);
-    Weight child_pages = 0;
-    for (const NodeId c : tree.children(id)) child_pages += div_ceil(tree.weight(c), page_size);
-    const Weight work = std::max(child_pages, div_ceil(tree.wbar(id), page_size));
-    frames = std::max(frames, work);
-  }
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    frames = std::max(frames, task_frames(tree, static_cast<NodeId>(i), page_size));
   return frames;
 }
 
@@ -57,7 +57,7 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
 
   std::vector<DatumState> state(tree.size());
   for (std::size_t i = 0; i < tree.size(); ++i) {
-    state[i].total_pages = div_ceil(tree.weight(static_cast<NodeId>(i)), config.page_size);
+    state[i].total_pages = page_count(tree.weight(static_cast<NodeId>(i)), config.page_size);
     state[i].consumer =
         tree.parent(static_cast<NodeId>(i)) == kNoNode ? schedule.size() : pos[idx(tree.parent(static_cast<NodeId>(i)))];
   }
@@ -141,7 +141,7 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
       return s;
     }();
     const Weight work_pages =
-        std::max(child_pages, div_ceil(tree.wbar(node), config.page_size));
+        std::max(child_pages, page_count(tree.wbar(node), config.page_size));
     const Weight extra = work_pages - child_pages;
     if (extra > 0 && !make_room(extra)) {
       stats.feasible = false;

@@ -1,23 +1,35 @@
-// Page-granular out-of-core execution simulator.
+// Page-granular out-of-core execution simulator (sequential replay).
 //
-// The analytic FiF counter in core/ works in abstract memory units and
-// counts writes only, as the paper does. This module simulates the same
-// executions the way a real paging runtime would: data are split into
-// fixed-size pages, memory is a set of frames, evictions pick victims via a
-// pluggable replacement policy (core/eviction.hpp — victims are found
-// through an indexed structure, not a per-eviction scan of every datum),
-// and both writes and read-backs are traced. Dirtiness is tracked per
-// datum, making write-at-most-once-per-page the explicit accounting model
-// (a page whose disk copy exists is dropped for free) rather than an
-// accident of the replay's consume-on-read-back control flow. Transient
-// working space is reserved in the frame accounting for the duration of a
-// task, so peak_frames_used reports frames the pager actually allocated.
+// Units. The analytic FiF counter in core/ works in abstract memory units
+// and counts writes only, as the paper does. This module simulates the
+// same executions the way a real paging runtime would: data are split into
+// fixed-size pages (a datum of weight w occupies page_count(w, page_size)
+// pages), memory is a set of frames = memory / page_size, and all I/O is
+// counted in pages. page_count() and task_frames() below define the page
+// geometry; the paged parallel engine (src/parallel/parallel_sim.hpp,
+// simulate_parallel_paged) shares them, so the two simulators agree on
+// what a page is and run_pager is exactly its workers = 1 /
+// sequential-order special case (pinned by tests/test_paged_parallel.cpp).
+//
+// Invariants:
+//   * write-at-most-once — dirtiness is tracked per datum, so a page is
+//     written at most once (a page whose disk copy exists is dropped for
+//     free) rather than once per eviction event;
+//   * reserved transients — the working space of a step is reserved in
+//     frames_used for the duration of the task, so nothing can evict into
+//     the head-room and peak_frames_used reports frames the pager actually
+//     allocated (step 3 of the replay provably never evicts);
+//   * indexed eviction — victims are found through core::EvictionIndex in
+//     O(log n) per pick, never a per-eviction scan of every datum; a
+//     replay is O((n + evictions) log n).
+//
 // Two uses:
 //   * cross-validation — with page_size = 1 and the Belady policy, the
 //     pager's write count must equal core::simulate_fif exactly;
-//   * the eviction-policy ablation (bench_ablation_eviction), which shows
-//     how far LRU/FIFO/random-style policies are from Belady's bound,
-//     i.e. the practical content of the paper's Theorem 1.
+//   * the eviction-policy ablation (bench_ablation_eviction,
+//     bench_paged_parallel), which shows how far LRU/FIFO/random-style
+//     policies are from Belady's bound, i.e. the practical content of the
+//     paper's Theorem 1.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +46,19 @@ namespace ooctree::iosim {
 using Policy = core::EvictionPolicy;
 
 [[nodiscard]] std::string policy_name(Policy p);
+
+/// Pages needed to hold `units` memory units (ceil division). The page
+/// geometry shared by run_pager and simulate_parallel_paged.
+[[nodiscard]] inline core::Weight page_count(core::Weight units, core::Weight page_size) {
+  return (units + page_size - 1) / page_size;
+}
+
+/// Frames a task occupies while executing: its children's page-rounded
+/// outputs plus the transient extra, i.e. max(sum of child pages,
+/// ceil(wbar / page_size)). At page_size = 1 this is wbar(node) under both
+/// memory models (wbar >= sum of child weights by construction).
+[[nodiscard]] core::Weight task_frames(const core::Tree& tree, core::NodeId node,
+                                       core::Weight page_size);
 
 /// Pager configuration.
 struct PagerConfig {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/core/minmem_postorder.hpp"
+#include "src/iosim/pager.hpp"
 #include "src/util/rng.hpp"
 
 namespace ooctree::parallel {
@@ -119,18 +120,51 @@ double total_work(const Tree& tree, CostModel cost) {
 
 ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
                                  const Schedule& reference) {
-  const Prepared prep = prepare(tree, config, reference);
+  // The unit-granular engine IS the paged core at page_size = 1 with free
+  // reads: pages coincide with memory units, task_frames(i) collapses to
+  // wbar(i), and every evicted page is dirty — so the paged accounting
+  // degenerates to the unit accounting exactly (no divergence possible).
+  PagedParallelConfig paged;
+  paged.base = config;
+  paged.page_size = 1;
+  return simulate_parallel_paged(tree, paged, reference).base;
+}
+
+PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParallelConfig& config,
+                                            const Schedule& reference) {
+  if (config.page_size <= 0)
+    throw std::invalid_argument("simulate_parallel_paged: page_size must be positive");
+  const Prepared prep = prepare(tree, config.base, reference);
   const std::vector<std::size_t>& ref_pos = prep.ref_pos;
   const std::vector<double>& priority_key = prep.priority_key;
+  const ParallelConfig& base = config.base;
+  const Weight page = config.page_size;
 
-  ParallelResult result;
+  PagedParallelResult paged;
+  paged.frames = base.memory / page;
+  const Weight frames = paged.frames;
+  ParallelResult& result = paged.base;
   result.io.assign(tree.size(), 0);
   result.start_time.assign(tree.size(), -1.0);
   result.finish_time.assign(tree.size(), -1.0);
 
+  // Page geometry (shared with iosim::run_pager): a datum occupies
+  // total_pages frames; a running task holds work_frames =
+  // iosim::task_frames (children's page-rounded outputs + transient extra).
+  std::vector<Weight> total_pages(tree.size(), 0);
+  std::vector<Weight> work_frames(tree.size(), 0);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    total_pages[i] = iosim::page_count(tree.weight(id), page);
+    work_frames[i] = iosim::task_frames(tree, id, page);
+  }
+
   // State. Liveness needs no flags here: a live output with resident pages
   // is exactly an EvictionIndex entry, and `resident` covers the rest.
-  std::vector<Weight> resident(tree.size(), 0);  // in-memory part of outputs
+  // Dirtiness is per page: resident - dirty pages have a disk copy and are
+  // dropped for free on eviction (write-at-most-once, as in run_pager).
+  std::vector<Weight> resident(tree.size(), 0);  // in-memory pages of outputs
+  std::vector<Weight> dirty(tree.size(), 0);     // resident pages with no disk copy
   std::vector<std::size_t> missing_children(tree.size(), 0);
   for (std::size_t i = 0; i < tree.size(); ++i)
     missing_children[i] = tree.num_children(static_cast<NodeId>(i));
@@ -153,32 +187,33 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
   // Running tasks as (finish_time, node) events.
   using Event = std::pair<double, NodeId>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
-  int idle = config.workers;
+  int idle = base.workers;
   double now = 0.0;
-  Weight memory_used = 0;    // running reservations + live output parts
-  Weight running_wbar = 0;   // sum of wbar over running tasks
-  std::int64_t clock = 0;    // completion clock (LRU/FIFO keys)
+  Weight frames_used = 0;     // running reservations + live output pages
+  Weight running_frames = 0;  // sum of work_frames over running tasks
+  std::int64_t clock = 0;     // completion clock (LRU/FIFO keys)
 
-  util::Rng rng(config.seed);
-  core::EvictionIndex index(config.evict, tree.size(),
-                            config.evict == EvictionPolicy::kRandom ? &rng : nullptr);
+  util::Rng rng(base.seed);
+  core::EvictionIndex index(base.evict, tree.size(),
+                            base.evict == EvictionPolicy::kRandom ? &rng : nullptr);
 
   // Transactional start: the O(1) precheck below is exact — every live
-  // output except i's children is fully evictable, so i fits (after
-  // eviction) iff the running reservations plus wbar(i) do. A failing try
+  // output except i's children is fully evictable (dirty pages cost a
+  // write, clean ones are dropped free), so i fits (after eviction) iff
+  // the running reservations plus work_frames(i) do. A failing try
   // therefore returns before any state change, and eviction I/O is charged
   // exactly once per real spill (the seed engine flushed victims and
   // charged io_volume even when the start then failed, making results
   // depend on how often backfill retried).
   const auto try_start = [&](NodeId i) -> bool {
-    if (running_wbar + tree.wbar(i) > config.memory) return false;
+    if (running_frames + work_frames[idx(i)] > frames) return false;
 
     Weight child_resident = 0;
     for (const NodeId c : tree.children(i)) child_resident += resident[idx(c)];
-    // Memory delta of starting i: children read back to full size, then
-    // their outputs fold into the running reservation wbar(i); the
-    // reservation step dominates because wbar >= sum of children weights.
-    const Weight delta = tree.wbar(i) - child_resident;
+    // Frame delta of starting i: children read back to their full page
+    // counts, then their pages fold into the reservation work_frames(i);
+    // the reservation dominates because work_frames >= sum of child pages.
+    const Weight delta = work_frames[idx(i)] - child_resident;
 
     // The children are consumed by this start: never eviction victims.
     for (const NodeId c : tree.children(i))
@@ -186,36 +221,61 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
 
     // Committed: evict live outputs (furthest-consumer first under Belady)
     // until the start fits. The precheck guarantees the index suffices.
-    const Weight target = config.memory - delta;
-    while (memory_used > target) {
+    const Weight target = frames - delta;
+    while (frames_used > target) {
       const NodeId v = index.pick();
-      const Weight take = std::min(resident[idx(v)], memory_used - target);
+      const Weight take = std::min(resident[idx(v)], frames_used - target);
+      // Clean pages are dropped first; only never-written pages cost I/O.
+      const Weight clean = resident[idx(v)] - dirty[idx(v)];
+      const Weight written = std::max<Weight>(0, take - clean);
       resident[idx(v)] -= take;
-      memory_used -= take;
-      result.io[idx(v)] += take;
-      result.io_volume += take;
+      dirty[idx(v)] -= written;
+      frames_used -= take;
+      paged.pages_written += written;
+      paged.pages_dropped_clean += take - written;
+      ++paged.eviction_events;
+      result.io[idx(v)] += written * page;
+      result.io_volume += written * page;
       if (resident[idx(v)] == 0) {
         index.erase(v);
-      } else if (config.evict == EvictionPolicy::kLargestFirst) {
+      } else if (base.evict == EvictionPolicy::kLargestFirst) {
         index.insert(v, resident[idx(v)]);  // re-key after the partial spill
       }
     }
 
-    // Consume the children: read evicted parts back (reads mirror writes
-    // and are not counted) and fold their outputs into the reservation.
+    // Consume the children: read evicted pages back (read-back pages come
+    // off disk unmodified — they would stay clean) and fold their outputs
+    // into the reservation. With a disk model the consuming worker stalls
+    // for the transfer before compute begins: spills delay this start.
+    Weight read_pages = 0;
+    std::int64_t transfers = 0;
     for (const NodeId c : tree.children(i)) {
-      memory_used -= resident[idx(c)];
+      const Weight missing = total_pages[idx(c)] - resident[idx(c)];
+      if (missing > 0) {
+        read_pages += missing;
+        ++transfers;
+      }
+      frames_used -= resident[idx(c)];
       resident[idx(c)] = 0;
+      dirty[idx(c)] = 0;
     }
-    memory_used += tree.wbar(i);
-    running_wbar += tree.wbar(i);
-    result.peak_resident = std::max(result.peak_resident, memory_used);
+    paged.pages_read += read_pages;
+    paged.read_transfers += transfers;
+    double stall = 0.0;
+    if (config.disk.has_value() && read_pages > 0) {
+      stall = config.disk->transfer_time(read_pages * page, transfers);
+      paged.read_stall += stall;
+    }
+    frames_used += work_frames[idx(i)];
+    running_frames += work_frames[idx(i)];
+    paged.peak_frames_used = std::max<std::int64_t>(paged.peak_frames_used, frames_used);
+    result.peak_resident = std::max(result.peak_resident, frames_used * page);
 
     result.start_time[idx(i)] = now;
     result.start_order.push_back(i);
-    const double cost = task_cost(tree, i, config.cost);
-    result.busy_time += cost;
-    running.emplace(now + cost, i);
+    const double cost = task_cost(tree, i, base.cost);
+    result.busy_time += cost;  // compute only: read stalls are not useful work
+    running.emplace(now + stall + cost, i);
     --idle;
     return true;
   };
@@ -224,7 +284,7 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
   std::vector<Ready> deferred;
   while (completed < tree.size()) {
     // Start ready tasks in priority order. A failed try mutates nothing,
-    // and starts only shrink the memory slack (running_wbar grows), so a
+    // and starts only shrink the memory slack (running_frames grows), so a
     // single pass suffices: a task that failed cannot fit later in the
     // same round.
     deferred.clear();
@@ -234,15 +294,16 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
       if (try_start(r.id)) continue;
       ++result.failed_starts;
       deferred.push_back(r);
-      if (!config.backfill) break;  // strict priority: do not skip ahead
+      if (!base.backfill) break;  // strict priority: do not skip ahead
     }
     for (const Ready& r : deferred) ready.push(r);
 
     if (running.empty()) {
-      // No task running and nothing startable: with all evictable data
-      // flushed the smallest wbar must fit, so this means M < LB.
+      // No task running and nothing startable: with all evictable pages
+      // flushed the smallest work_frames must fit, so this means the frame
+      // count is below min_feasible_frames.
       result.feasible = false;
-      return result;
+      return paged;
     }
 
     // Advance to the next completion.
@@ -254,14 +315,16 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
     ++completed;
     ++clock;
 
-    // Reservation wbar collapses to the output size.
-    memory_used -= tree.wbar(node);
-    running_wbar -= tree.wbar(node);
+    // Reservation work_frames collapses to the output's page count; the
+    // output is produced in memory, so every page starts dirty.
+    frames_used -= work_frames[idx(node)];
+    running_frames -= work_frames[idx(node)];
     if (node != tree.root()) {
-      memory_used += tree.weight(node);
-      resident[idx(node)] = tree.weight(node);
-      if (tree.weight(node) > 0)
-        index.insert(node, policy_key(config.evict, tree, node, tree.weight(node), clock,
+      frames_used += total_pages[idx(node)];
+      resident[idx(node)] = total_pages[idx(node)];
+      dirty[idx(node)] = total_pages[idx(node)];
+      if (total_pages[idx(node)] > 0)
+        index.insert(node, policy_key(base.evict, tree, node, total_pages[idx(node)], clock,
                                       ref_pos));
     }
 
@@ -272,7 +335,7 @@ ParallelResult simulate_parallel(const Tree& tree, const ParallelConfig& config,
 
   result.makespan = now;
   result.feasible = true;
-  return result;
+  return paged;
 }
 
 ParallelResult simulate_parallel_reference(const Tree& tree, const ParallelConfig& config,

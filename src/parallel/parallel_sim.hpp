@@ -9,26 +9,56 @@
 // — or the start is delayed. The simulator is event-driven and reports
 // makespan, written volume and the full execution trace, so the
 // parallelism-vs-I/O tradeoff that motivates the paper's future work can
-// be measured (bench_parallel_tradeoff, bench_parallel_scaling).
+// be measured (bench_parallel_tradeoff, bench_parallel_scaling,
+// bench_paged_parallel).
 //
-// Two engines implement the same semantics:
-//   * simulate_parallel — the production engine: indexed eviction state
-//     (core::EvictionIndex, no per-call scan of all n nodes), a heap-backed
-//     ready queue, and *transactional* task starts (a start that cannot fit
-//     even after full eviction mutates nothing, so eviction I/O is charged
-//     exactly once per real spill);
-//   * simulate_parallel_reference — the retained scan-based engine
-//     (O(n) victim scan + sort per start), kept as the differential oracle
-//     (tests/test_parallel_incremental.cpp pins both engines to
-//     bit-identical results, mirroring rec_expand_reference from PR 2).
+// Units. The *unit-granular* API (simulate_parallel) accounts residency in
+// abstract memory units, exactly like core::simulate_fif; the *paged* API
+// (simulate_parallel_paged) accounts in fixed-size pages the way
+// iosim::run_pager does: memory is frames = M / page_size, every datum
+// occupies ceil(weight / page_size) frames, and a running task holds
+// task_frames = max(sum of child pages, ceil(wbar / page_size)) frames.
+// With page_size = 1 the two accountings coincide unit-for-unit.
+//
+// One engine implements both: simulate_parallel is the page_size = 1,
+// free-read specialization of the paged core, so the two APIs cannot
+// drift. Invariants of the shared core:
+//   * transactional starts — fitting reduces to the O(1) check
+//     running_frames + task_frames(i) <= frames (every live output except
+//     i's own children is fully evictable), so a start that cannot fit
+//     mutates nothing and eviction I/O is charged exactly once per real
+//     spill;
+//   * write-at-most-once — dirtiness is tracked per page; evicting a page
+//     whose disk copy exists is free, so a datum's written volume never
+//     exceeds its page-rounded size (the invariant iosim::run_pager
+//     guarantees, now shared by the parallel engine);
+//   * indexed eviction — victims come from core::EvictionIndex in
+//     O(log n), never from a scan of all n nodes; overall the engine is
+//     O((n + evictions) log n) per simulation.
+// The retained scan-based engine (simulate_parallel_reference, O(n) victim
+// scan + sort per start) is the differential oracle:
+// tests/test_parallel_incremental.cpp pins both engines bit-identical, and
+// tests/test_paged_parallel.cpp pins the paged accounting against
+// iosim::run_pager and the sequential FiF counter.
+//
+// Read costs. The unit engine keeps the paper's convention that reads
+// mirror writes and cost no time. The paged engine optionally folds the
+// iosim::DiskModel disk-cost model into the makespan: reading spilled
+// pages back stalls the consuming worker for transfer_time(volume,
+// transfers) before compute begins, so spills delay dependent task starts
+// (the ROADMAP read-cost item). The default — no disk model — keeps reads
+// free and makes the paged engine reproduce simulate_parallel bit-for-bit
+// at page_size = 1.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/core/eviction.hpp"
 #include "src/core/traversal.hpp"
 #include "src/core/tree.hpp"
+#include "src/iosim/trace.hpp"
 
 namespace ooctree::parallel {
 
@@ -83,14 +113,56 @@ struct ParallelResult {
   }
 };
 
+/// Paged-engine knobs: the unit-granular config plus the page geometry and
+/// an optional disk-cost model. `base.memory` stays in memory units; the
+/// engine runs on frames = base.memory / page_size.
+struct PagedParallelConfig {
+  ParallelConfig base;
+  core::Weight page_size = 1;  ///< memory units per page (> 0)
+  /// When set, reading evicted pages back at a task start stalls the
+  /// consuming worker for DiskModel::transfer_time(volume, transfers)
+  /// before compute begins — spilled pages delay dependent starts. When
+  /// absent (the default) reads cost no time, matching simulate_parallel.
+  std::optional<iosim::DiskModel> disk;
+};
+
+/// Outcome of a paged parallel simulation. `base.io` / `base.io_volume`
+/// report *written* volume in memory units (pages written x page_size);
+/// `base.peak_resident` is peak_frames_used x page_size. With the disk
+/// model set, `base.makespan` includes read stalls while `base.busy_time`
+/// stays compute-only, so utilization() reports useful work.
+struct PagedParallelResult {
+  ParallelResult base;
+  core::Weight frames = 0;                ///< memory / page_size
+  std::int64_t pages_written = 0;         ///< dirty pages flushed (once per page)
+  std::int64_t pages_read = 0;            ///< read-backs of evicted pages
+  std::int64_t pages_dropped_clean = 0;   ///< evicted pages with a disk copy
+  std::int64_t eviction_events = 0;       ///< victim picks that freed frames
+  std::int64_t peak_frames_used = 0;      ///< never exceeds frames when feasible
+  std::int64_t read_transfers = 0;        ///< read-back operations (per child datum)
+  double read_stall = 0.0;                ///< total worker time waiting on reads
+};
+
 /// Runs the simulation. `reference` supplies the order for
 /// Priority::kSequentialOrder and the Belady eviction key (furthest in the
 /// reference order is evicted first); pass an empty schedule to use a
 /// postorder computed internally. Throws std::invalid_argument on bad
-/// configs.
+/// configs. Equivalent to simulate_parallel_paged at page_size = 1 with no
+/// disk model (it is that call).
 [[nodiscard]] ParallelResult simulate_parallel(const core::Tree& tree,
                                                const ParallelConfig& config,
                                                const core::Schedule& reference = {});
+
+/// The paged engine: residency tracked in pages with per-page dirtiness,
+/// shared-memory worker pool semantics as simulate_parallel. Anchors
+/// (pinned by tests/test_paged_parallel.cpp):
+///   * page_size = 1, no disk model  -> bit-identical to simulate_parallel;
+///   * workers = 1, sequential order, no backfill -> page I/O identical to
+///     iosim::run_pager on the same schedule (and, at page_size = 1, I/O
+///     volume and peak identical to core::simulate_fif).
+[[nodiscard]] PagedParallelResult simulate_parallel_paged(const core::Tree& tree,
+                                                          const PagedParallelConfig& config,
+                                                          const core::Schedule& reference = {});
 
 /// The scan-based engine with identical semantics and results, retained as
 /// the differential-testing oracle and the bench_parallel_scaling baseline.

@@ -1,5 +1,6 @@
 #include "src/service/plan_service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -67,6 +68,15 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
     response.seconds = watch.seconds();
     return response;
   };
+
+  // Statically invalid page/replay combinations fail before any cache
+  // lookup: they must neither collide with a valid request's keys nor pay
+  // for planning before the error surfaces.
+  if (request.page_size < 0)
+    return respond(error_stats("page_size must be >= 0"), Served::kComputed);
+  if (request.page_size > 0 && !request.parallel.has_value())
+    return respond(error_stats("page_size requires a parallel replay config (workers)"),
+                   Served::kComputed);
 
   // Layer 1: spec fingerprint — value-determined requests skip the tree.
   const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seed);
@@ -167,17 +177,27 @@ std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request
     stats->evictions = outcome.evaluation.evictions;
 
     if (request.parallel.has_value()) {
-      parallel::ParallelConfig pc = *request.parallel;
-      pc.memory = memory;
-      if (pc.seed == 0) pc.seed = seed;
-      const parallel::ParallelResult replay =
-          parallel::simulate_parallel(tree, pc, stats->schedule);
+      // The unit replay is the page_size = 1 specialization of the paged
+      // engine (free reads), so one call serves both request shapes; only
+      // the page stats are gated on the request actually being paged.
+      parallel::PagedParallelConfig paged;
+      paged.base = *request.parallel;
+      paged.base.memory = memory;
+      if (paged.base.seed == 0) paged.base.seed = seed;
+      paged.page_size = std::max<core::Weight>(1, request.page_size);
+      const parallel::PagedParallelResult replay =
+          parallel::simulate_parallel_paged(tree, paged, stats->schedule);
       stats->replayed = true;
-      stats->replay_feasible = replay.feasible;
-      stats->workers = pc.workers;
-      stats->makespan = replay.makespan;
-      stats->parallel_io = replay.io_volume;
-      stats->utilization = replay.utilization(pc.workers);
+      stats->replay_feasible = replay.base.feasible;
+      stats->workers = paged.base.workers;
+      stats->makespan = replay.base.makespan;
+      stats->parallel_io = replay.base.io_volume;
+      stats->utilization = replay.base.utilization(paged.base.workers);
+      if (request.page_size > 0) {
+        stats->page_size = request.page_size;
+        stats->pages_written = replay.pages_written;
+        stats->pages_read = replay.pages_read;
+      }
     }
     stats->ok = true;
   } catch (const std::exception& e) {

@@ -33,6 +33,11 @@ std::uint64_t mix_double(std::uint64_t h, double v) {
 /// influence the result, and keeping it out lets requests that differ only
 /// in their derived stream share one cache entry.
 std::uint64_t mix_replay(std::uint64_t h, const PlanRequest& request, std::uint64_t seed) {
+  // Mixed unconditionally: requests differing only in page_size must never
+  // share a key, even invalid ones (page_size without a replay config) —
+  // those are rejected before the cache is consulted, but the keyspace
+  // stays honest regardless.
+  h = mix_i64(h, request.page_size);
   if (!request.parallel.has_value()) return mix(h, 0x70ULL);
   const parallel::ParallelConfig& pc = *request.parallel;
   h = mix(h, 0x71ULL);
@@ -120,7 +125,8 @@ bool identical(const PlanStats& a, const PlanStats& b) {
          a.evictions == b.evictions && a.replayed == b.replayed &&
          a.replay_feasible == b.replay_feasible && a.workers == b.workers &&
          a.makespan == b.makespan && a.parallel_io == b.parallel_io &&
-         a.utilization == b.utilization;
+         a.utilization == b.utilization && a.page_size == b.page_size &&
+         a.pages_written == b.pages_written && a.pages_read == b.pages_read;
 }
 
 std::uint64_t effective_seed(const PlanRequest& request, std::uint64_t service_seed) {

@@ -76,6 +76,12 @@ struct PlanRequest {
   /// resolved bound; `parallel->seed == 0` means "use the request's derived
   /// RNG stream" (only consulted by EvictionPolicy::kRandom).
   std::optional<parallel::ParallelConfig> parallel;
+
+  /// Page size of the replay in memory units. 0 (the default) replays
+  /// unit-granular through simulate_parallel; > 0 replays through the
+  /// paged engine (simulate_parallel_paged) with frames = memory /
+  /// page_size and page-I/O stats in the response. Requires `parallel`.
+  core::Weight page_size = 0;
 };
 
 /// The deterministic payload of an answer. Immutable once built; duplicate
@@ -106,6 +112,13 @@ struct PlanStats {
   double makespan = 0.0;
   core::Weight parallel_io = 0;
   double utilization = 0.0;
+
+  // Paged replay (only when the request set page_size > 0): page-granular
+  // I/O accounting from simulate_parallel_paged; parallel_io then equals
+  // pages_written * page_size.
+  core::Weight page_size = 0;
+  std::int64_t pages_written = 0;
+  std::int64_t pages_read = 0;
 };
 
 /// Field-by-field equality of the deterministic payload — the differential

@@ -178,7 +178,8 @@ class JsonScanner {
   throw std::runtime_error(
       "unknown request field '" + key +
       "' (id, source, nodes, w_lo, w_hi, seed, parent, weight, path, model, memory, "
-      "memory_lb, strategy, workers, priority, evict, cost, backfill, evict_seed)");
+      "memory_lb, strategy, workers, priority, evict, cost, backfill, evict_seed, "
+      "page_size)");
 }
 
 /// Tracks which fields were given so source inference and replay gating
@@ -265,6 +266,11 @@ void assign_number(DecodeState& state, const std::string& key, std::int64_t inte
   } else if (key == "evict_seed") {
     state.evict_seed = static_cast<std::uint64_t>(require_int());
     state.has_replay_field = true;
+  } else if (key == "page_size") {
+    const std::int64_t v = require_int();
+    if (v <= 0) throw std::runtime_error("'page_size' must be positive");
+    state.request.page_size = v;
+    state.has_replay_field = true;
   } else {
     unknown_key(key);
   }
@@ -304,7 +310,8 @@ PlanRequest finish(DecodeState&& state, std::int64_t fallback_id) {
     // Silently dropping the replay block would report sequential-only
     // stats for a request that asked for a parallel evaluation.
     throw std::runtime_error(
-        "replay fields (priority/evict/cost/backfill/evict_seed) require 'workers' > 0");
+        "replay fields (priority/evict/cost/backfill/evict_seed/page_size) require "
+        "'workers' > 0");
   }
   return std::move(request);
 }
@@ -342,7 +349,8 @@ std::vector<std::string> split_csv_row(const std::string& line) {
 
 bool csv_key_is_numeric(const std::string& key) {
   return key == "id" || key == "nodes" || key == "w_lo" || key == "w_hi" || key == "seed" ||
-         key == "memory" || key == "memory_lb" || key == "workers" || key == "evict_seed";
+         key == "memory" || key == "memory_lb" || key == "workers" || key == "evict_seed" ||
+         key == "page_size";
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+// Differential suite for the paged parallel engine (simulate_parallel_paged).
+//
+// The paged engine is the shared transactional-start core of the parallel
+// subsystem; this suite pins its three anchors:
+//   * page_size = 1 + no disk model  ==  simulate_parallel bit-identically
+//     (the unit engine is that specialization — the test guards the
+//     contract against future re-specialization);
+//   * workers = 1 + sequential order + no backfill  ==  iosim::run_pager's
+//     page-I/O accounting on the same schedule, for every page size;
+//   * the same configuration at page_size = 1  ==  the sequential FiF
+//     simulator's I/O volume and peak.
+// It also reuses the pinned PR 3 fixtures (transient reservation,
+// write-at-most-once thrashing) from test_support.hpp so the pager and the
+// paged parallel engine stay pinned to one accounting, and pins the
+// read-cost model: spilled pages delay dependent task starts by exactly
+// DiskModel::transfer_time.
+#include <gtest/gtest.h>
+
+#include "src/core/fif_simulator.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/iosim/pager.hpp"
+#include "src/parallel/parallel_sim.hpp"
+#include "test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::EvictionPolicy;
+using core::MemoryModel;
+using core::Schedule;
+using core::Tree;
+using core::Weight;
+using iosim::PagerConfig;
+using iosim::PagerStats;
+using parallel::PagedParallelConfig;
+using parallel::PagedParallelResult;
+using parallel::ParallelConfig;
+using parallel::ParallelResult;
+using parallel::Priority;
+using parallel::simulate_parallel;
+using parallel::simulate_parallel_paged;
+
+void expect_base_identical(const ParallelResult& a, const ParallelResult& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.feasible, b.feasible) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.io_volume, b.io_volume) << label;
+  EXPECT_EQ(a.io, b.io) << label;
+  EXPECT_EQ(a.peak_resident, b.peak_resident) << label;
+  EXPECT_EQ(a.start_order, b.start_order) << label;
+  EXPECT_EQ(a.start_time, b.start_time) << label;
+  EXPECT_EQ(a.finish_time, b.finish_time) << label;
+  EXPECT_EQ(a.busy_time, b.busy_time) << label;
+  EXPECT_EQ(a.failed_starts, b.failed_starts) << label;
+}
+
+PagedParallelConfig paged_config(const ParallelConfig& base, Weight page_size) {
+  PagedParallelConfig c;
+  c.base = base;
+  c.page_size = page_size;
+  return c;
+}
+
+ParallelConfig sequential_config(Weight memory) {
+  ParallelConfig c;
+  c.workers = 1;
+  c.memory = memory;
+  c.priority = Priority::kSequentialOrder;
+  c.backfill = false;
+  return c;
+}
+
+// Anchor 1: at page_size = 1 with free reads the paged engine must equal
+// the unit engine bit-for-bit across workers x priorities x policies
+// (including kRandom — the eviction draw sequences must coincide).
+TEST(PagedParallel, UnitPageMatchesUnitEngineAcrossSweep) {
+  util::Rng rng(25001);
+  const std::vector<Priority> priorities{Priority::kSequentialOrder, Priority::kCriticalPath,
+                                         Priority::kHeaviestSubtree};
+  const std::vector<EvictionPolicy> policies{EvictionPolicy::kBelady, EvictionPolicy::kLru,
+                                             EvictionPolicy::kRandom};
+  for (int rep = 0; rep < 8; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(40, 14, rng)
+                                  : test::small_random_wide_tree(40, 14, rng);
+    const Weight lb = t.min_feasible_memory();
+    for (const Weight m : {lb, lb + 7}) {
+      for (const int workers : {1, 2, 4}) {
+        for (const Priority priority : priorities) {
+          for (const EvictionPolicy policy : policies) {
+            ParallelConfig c;
+            c.workers = workers;
+            c.memory = m;
+            c.priority = priority;
+            c.evict = policy;
+            c.seed = 31u + static_cast<std::uint64_t>(rep);
+            const PagedParallelResult paged = simulate_parallel_paged(t, paged_config(c, 1));
+            const ParallelResult unit = simulate_parallel(t, c);
+            expect_base_identical(paged.base, unit,
+                                  "rep=" + std::to_string(rep) + " w=" + std::to_string(workers) +
+                                      " M=" + std::to_string(m) +
+                                      " policy=" + core::eviction_policy_name(policy));
+            // Page accounting degenerates exactly: every evicted page is
+            // dirty in this control flow, and pages are units.
+            EXPECT_EQ(paged.pages_written, unit.io_volume);
+            EXPECT_EQ(paged.pages_dropped_clean, 0);
+            EXPECT_EQ(paged.peak_frames_used, unit.peak_resident);
+            EXPECT_EQ(paged.frames, m);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Anchor 2: one worker following the reference order with no backfill is
+// the sequential paging model — page I/O must match iosim::run_pager on
+// the same schedule for every page size and deterministic policy.
+TEST(PagedParallel, SingleWorkerSequentialMatchesPager) {
+  util::Rng rng(25013);
+  const std::vector<EvictionPolicy> policies{EvictionPolicy::kBelady, EvictionPolicy::kLru,
+                                             EvictionPolicy::kFifo,
+                                             EvictionPolicy::kLargestFirst};
+  for (int rep = 0; rep < 10; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(28, 12, rng)
+                                  : test::small_random_wide_tree(28, 12, rng);
+    const Schedule schedule = core::opt_minmem(t).schedule;
+    for (const Weight page : {Weight{1}, Weight{3}, Weight{4}, Weight{7}}) {
+      const Weight min_frames = iosim::min_feasible_frames(t, page);
+      for (const Weight slack : {Weight{0}, Weight{2}, Weight{6}}) {
+        const Weight memory = (min_frames + slack) * page;
+        for (const EvictionPolicy policy : policies) {
+          PagerConfig pc;
+          pc.page_size = page;
+          pc.memory = memory;
+          pc.policy = policy;
+          const PagerStats pager = iosim::run_pager(t, schedule, pc);
+
+          ParallelConfig base = sequential_config(memory);
+          base.evict = policy;
+          const PagedParallelResult paged =
+              simulate_parallel_paged(t, paged_config(base, page), schedule);
+
+          const std::string label = "rep=" + std::to_string(rep) +
+                                    " page=" + std::to_string(page) +
+                                    " slack=" + std::to_string(slack) +
+                                    " policy=" + core::eviction_policy_name(policy);
+          ASSERT_EQ(paged.base.feasible, pager.feasible) << label;
+          if (!pager.feasible) continue;
+          EXPECT_EQ(paged.base.start_order, schedule) << label;
+          EXPECT_EQ(paged.pages_written, pager.pages_written) << label;
+          EXPECT_EQ(paged.pages_read, pager.pages_read) << label;
+          EXPECT_EQ(paged.pages_dropped_clean, pager.pages_dropped_clean) << label;
+          EXPECT_EQ(paged.peak_frames_used, pager.peak_frames_used) << label;
+          EXPECT_EQ(paged.base.io_volume, pager.write_volume(pc)) << label;
+        }
+      }
+    }
+  }
+}
+
+// Anchor 3: the same sequential configuration at page_size = 1 reproduces
+// the analytic FiF counter's I/O volume and peak, under both memory models.
+TEST(PagedParallel, SingleWorkerSequentialUnitPageCollapsesToFif) {
+  util::Rng rng(25031);
+  for (const MemoryModel model : {MemoryModel::kMaxInOut, MemoryModel::kSumInOut}) {
+    for (int rep = 0; rep < 10; ++rep) {
+      const Tree t = test::small_random_tree(30, 12, rng).with_memory_model(model);
+      const Schedule ref = core::opt_minmem(t).schedule;
+      const Weight lb = t.min_feasible_memory();
+      for (const Weight m : {lb, lb + 4, lb + 12}) {
+        const auto fif = core::simulate_fif(t, ref, m);
+        ASSERT_TRUE(fif.feasible);
+        const PagedParallelResult r =
+            simulate_parallel_paged(t, paged_config(sequential_config(m), 1), ref);
+        ASSERT_TRUE(r.base.feasible);
+        EXPECT_EQ(r.base.io_volume, fif.io_volume)
+            << "model=" << static_cast<int>(model) << " rep=" << rep << " M=" << m;
+        EXPECT_EQ(r.base.peak_resident, fif.peak_resident)
+            << "model=" << static_cast<int>(model) << " rep=" << rep << " M=" << m;
+      }
+    }
+  }
+}
+
+// PR 3's transient-reservation pin, replayed against the paged engine
+// through the shared fixture: working space is allocated, not head-room.
+TEST(PagedParallel, TransientReservationSharedPin) {
+  const auto fx = test::transient_reservation_fixture();
+  const PagedParallelResult ok = simulate_parallel_paged(
+      fx.tree, paged_config(sequential_config(fx.feasible_memory), 1), fx.schedule);
+  ASSERT_TRUE(ok.base.feasible);
+  EXPECT_EQ(ok.peak_frames_used, fx.expected_peak_frames);
+  EXPECT_EQ(ok.pages_written, 0);
+  EXPECT_EQ(ok.pages_read, 0);
+  const PagedParallelResult bad = simulate_parallel_paged(
+      fx.tree, paged_config(sequential_config(fx.infeasible_memory), 1), fx.schedule);
+  EXPECT_FALSE(bad.base.feasible);
+}
+
+// PR 3's write-at-most-once pin through the shared thrash fixture: the
+// paged engine charges 3 distinct dirty pages over 2 eviction events, and
+// agrees with the pager and the analytic counter.
+TEST(PagedParallel, ThrashSharedPinWritesEachPageOnce) {
+  const auto fx = test::thrash_fixture();
+  const PagedParallelResult r = simulate_parallel_paged(
+      fx.tree, paged_config(sequential_config(fx.memory), 1), fx.schedule);
+  ASSERT_TRUE(r.base.feasible);
+  EXPECT_EQ(r.pages_written, fx.expected_pages_written);
+  EXPECT_EQ(r.pages_read, fx.expected_pages_read);
+  EXPECT_EQ(r.eviction_events, fx.expected_eviction_events);
+  EXPECT_EQ(r.peak_frames_used, fx.expected_peak_frames);
+  EXPECT_EQ(r.pages_dropped_clean, 0);
+}
+
+// The read-cost model: spilled pages delay dependent task starts by
+// exactly DiskModel::transfer_time(volume, transfers). On the thrash
+// fixture all 3 read-back pages arrive in one transfer when the root
+// starts, so the makespan grows by latency + volume/bandwidth while
+// busy_time (useful work) is unchanged.
+TEST(PagedParallel, ReadStallDelaysDependentStarts) {
+  const auto fx = test::thrash_fixture();
+  PagedParallelConfig free_reads = paged_config(sequential_config(fx.memory), 1);
+  const PagedParallelResult base = simulate_parallel_paged(fx.tree, free_reads, fx.schedule);
+  ASSERT_TRUE(base.base.feasible);
+  ASSERT_EQ(base.pages_read, 3);
+
+  PagedParallelConfig costed = free_reads;
+  costed.disk = iosim::DiskModel{2.0, 1.0};  // latency 2, bandwidth 1 unit per time unit
+  const PagedParallelResult r = simulate_parallel_paged(fx.tree, costed, fx.schedule);
+  ASSERT_TRUE(r.base.feasible);
+  EXPECT_EQ(r.read_transfers, 1);
+  EXPECT_DOUBLE_EQ(r.read_stall, 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(r.base.makespan, base.base.makespan + 5.0);
+  EXPECT_DOUBLE_EQ(r.base.busy_time, base.base.busy_time);
+  // Identical residency decisions: the stall changes time, not paging.
+  EXPECT_EQ(r.pages_written, base.pages_written);
+  EXPECT_EQ(r.pages_read, base.pages_read);
+}
+
+// In the fixed-order regime (one worker, sequential order, no backfill)
+// the execution sequence cannot react to time, so every stall serializes:
+// makespan decomposes exactly into the free-read makespan plus the total
+// read stall, and a pointwise cheaper disk gives a pointwise smaller
+// stall. (With several workers and backfill this is NOT an invariant —
+// stalls shift completions, reorder the ready queue, and can produce
+// Graham-style anomalies where a costlier disk finishes sooner.)
+TEST(PagedParallel, ReadCostDecomposesInFixedOrderRegime) {
+  util::Rng rng(25043);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Tree t = test::small_random_tree(35, 12, rng);
+    const ParallelConfig base = sequential_config(t.min_feasible_memory() + 2);
+    PagedParallelConfig cheap = paged_config(base, 2);
+    PagedParallelConfig costly = cheap;
+    cheap.disk = iosim::DiskModel{0.1, 100.0};
+    costly.disk = iosim::DiskModel{1.0, 10.0};
+    const PagedParallelResult free_run = simulate_parallel_paged(t, paged_config(base, 2));
+    const PagedParallelResult cheap_run = simulate_parallel_paged(t, cheap);
+    const PagedParallelResult costly_run = simulate_parallel_paged(t, costly);
+    ASSERT_TRUE(free_run.base.feasible);
+    // Same order, same residency decisions, same page movement.
+    EXPECT_EQ(cheap_run.base.start_order, free_run.base.start_order) << "rep=" << rep;
+    EXPECT_EQ(cheap_run.pages_read, costly_run.pages_read) << "rep=" << rep;
+    EXPECT_DOUBLE_EQ(cheap_run.base.makespan, free_run.base.makespan + cheap_run.read_stall)
+        << "rep=" << rep;
+    EXPECT_DOUBLE_EQ(costly_run.base.makespan, free_run.base.makespan + costly_run.read_stall)
+        << "rep=" << rep;
+    EXPECT_LE(cheap_run.read_stall, costly_run.read_stall) << "rep=" << rep;
+  }
+}
+
+// Paged invariants across a sweep: write-at-most-once per page, I/O in
+// page multiples, allocated frames bounded by the frame count, and reads
+// never exceed what was spilled.
+TEST(PagedParallel, PageAccountingInvariants) {
+  util::Rng rng(25057);
+  for (int rep = 0; rep < 8; ++rep) {
+    const Tree t = (rep % 2 == 0) ? test::small_random_tree(40, 14, rng)
+                                  : test::small_random_wide_tree(40, 14, rng);
+    for (const Weight page : {Weight{1}, Weight{3}, Weight{8}}) {
+      const Weight memory = (iosim::min_feasible_frames(t, page) + 2) * page;
+      for (const int workers : {1, 2, 4}) {
+        ParallelConfig base;
+        base.workers = workers;
+        base.memory = memory;
+        const PagedParallelResult r = simulate_parallel_paged(t, paged_config(base, page));
+        const std::string label = "rep=" + std::to_string(rep) + " page=" +
+                                  std::to_string(page) + " w=" + std::to_string(workers);
+        ASSERT_TRUE(r.base.feasible) << label;
+        EXPECT_LE(r.peak_frames_used, r.frames) << label;
+        EXPECT_EQ(r.base.io_volume, r.pages_written * page) << label;
+        EXPECT_LE(r.pages_read, r.pages_written + r.pages_dropped_clean) << label;
+        std::int64_t written_pages = 0;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          EXPECT_EQ(r.base.io[i] % page, 0) << label << " node " << i;
+          const Weight cap = iosim::page_count(t.weight(static_cast<core::NodeId>(i)), page);
+          EXPECT_LE(r.base.io[i] / page, cap) << label << " node " << i << " written twice";
+          written_pages += r.base.io[i] / page;
+        }
+        EXPECT_EQ(written_pages, r.pages_written) << label;
+      }
+    }
+  }
+}
+
+// Frame-level infeasibility: one frame below min_feasible_frames must be
+// rejected even with backfill, at any worker count.
+TEST(PagedParallel, InfeasibleBelowMinFeasibleFrames) {
+  util::Rng rng(25071);
+  const Tree t = test::small_random_tree(24, 10, rng);
+  for (const Weight page : {Weight{2}, Weight{5}}) {
+    const Weight min_frames = iosim::min_feasible_frames(t, page);
+    for (const int workers : {1, 4}) {
+      ParallelConfig base;
+      base.workers = workers;
+      base.memory = (min_frames - 1) * page;
+      EXPECT_FALSE(simulate_parallel_paged(t, paged_config(base, page)).base.feasible);
+      base.memory = min_frames * page;
+      EXPECT_TRUE(simulate_parallel_paged(t, paged_config(base, page)).base.feasible);
+    }
+  }
+}
+
+TEST(PagedParallel, RejectsBadConfig) {
+  const Tree t = core::make_tree({{core::kNoNode, 1}, {0, 1}});
+  ParallelConfig base;
+  base.memory = 10;
+  EXPECT_THROW((void)simulate_parallel_paged(t, paged_config(base, 0)), std::invalid_argument);
+  EXPECT_THROW((void)simulate_parallel_paged(t, paged_config(base, -3)), std::invalid_argument);
+  PagedParallelConfig bad_workers = paged_config(base, 1);
+  bad_workers.base.workers = 0;
+  EXPECT_THROW((void)simulate_parallel_paged(t, bad_workers), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ooctree

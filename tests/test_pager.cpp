@@ -118,40 +118,35 @@ TEST(Pager, RandomPolicyIsDeterministicPerSeed) {
 TEST(Pager, TransientReservationPinsPeak) {
   // The transient working space of a step is *reserved* in frames_used
   // (seed bug: step 2 only checked the head-room and folded it into
-  // peak_frames_used without allocating it). With root wbar = 10 the leaf
-  // output (2) plus the root's transient extra (8) must peak at exactly 10
-  // allocated frames — and one unit less memory is infeasible.
-  const Tree t = core::make_tree({{core::kNoNode, 10}, {0, 2}});
-  const PagerStats s = run_pager(t, {1, 0}, config(10, Policy::kBelady));
+  // peak_frames_used without allocating it). The fixture is shared with
+  // the paged parallel engine (tests/test_paged_parallel.cpp), so both
+  // engines stay pinned to the same accounting.
+  const auto fx = test::transient_reservation_fixture();
+  const PagerStats s = run_pager(fx.tree, fx.schedule, config(fx.feasible_memory, Policy::kBelady));
   ASSERT_TRUE(s.feasible);
-  EXPECT_EQ(s.peak_frames_used, 10);
+  EXPECT_EQ(s.peak_frames_used, fx.expected_peak_frames);
   EXPECT_EQ(s.pages_written, 0);
   EXPECT_EQ(s.pages_read, 0);
-  EXPECT_FALSE(run_pager(t, {1, 0}, config(9, Policy::kBelady)).feasible);
+  EXPECT_FALSE(
+      run_pager(fx.tree, fx.schedule, config(fx.infeasible_memory, Policy::kBelady)).feasible);
 }
 
 TEST(Pager, ThrashedDatumWritesEachPageOnce) {
   // Satellite bug: every eviction charged pages_written, conflating write
-  // volume with eviction events. Here datum B (4 pages) is partially
-  // evicted twice on the way down a chain — 2 pages, then 1 more — so the
-  // correct write count is 3 distinct dirty pages across 2 eviction
-  // events, not "whole datum per event" (8) nor the event count (2).
-  //
-  // ids: 0=root(w1); 1=B(w4); 2=s4(w1); 3=s3(w4); 4=s2(w1); 5=s1(w3);
-  // chain s1 -> s2 -> s3 -> s4 -> root, B -> root. LB = wbar(root) = 5.
-  const Tree t = core::make_tree(
-      {{core::kNoNode, 1}, {0, 4}, {0, 1}, {2, 4}, {3, 1}, {4, 3}});
-  ASSERT_EQ(t.min_feasible_memory(), 5);
-  const core::Schedule schedule{1, 5, 4, 3, 2, 0};
-  const PagerStats s = run_pager(t, schedule, config(5, Policy::kBelady));
+  // volume with eviction events (see test::thrash_fixture for the exact
+  // construction, shared with the paged parallel engine).
+  const auto fx = test::thrash_fixture();
+  ASSERT_EQ(fx.tree.min_feasible_memory(), fx.memory);
+  const PagerStats s = run_pager(fx.tree, fx.schedule, config(fx.memory, Policy::kBelady));
   ASSERT_TRUE(s.feasible);
-  EXPECT_EQ(s.eviction_events, 2);
-  EXPECT_EQ(s.pages_written, 3) << "each of B's evicted pages is written exactly once";
-  EXPECT_EQ(s.pages_read, 3) << "reads mirror writes";
+  EXPECT_EQ(s.eviction_events, fx.expected_eviction_events);
+  EXPECT_EQ(s.pages_written, fx.expected_pages_written)
+      << "each of B's evicted pages is written exactly once";
+  EXPECT_EQ(s.pages_read, fx.expected_pages_read) << "reads mirror writes";
   EXPECT_EQ(s.pages_dropped_clean, 0);
-  EXPECT_EQ(s.peak_frames_used, 5);
+  EXPECT_EQ(s.peak_frames_used, fx.expected_peak_frames);
   // The analytic FiF counter agrees with the per-page accounting.
-  const auto fif = core::simulate_fif(t, schedule, 5);
+  const auto fif = core::simulate_fif(fx.tree, fx.schedule, fx.memory);
   ASSERT_TRUE(fif.feasible);
   EXPECT_EQ(s.pages_written, fif.io_volume);
 }

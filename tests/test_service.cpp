@@ -236,6 +236,76 @@ TEST(PlanService, ReplayMatchesDirectParallelSimulation) {
   EXPECT_EQ(response.stats->replay_feasible, direct.feasible);
 }
 
+TEST(PlanService, PagedReplayMatchesDirectPagedSimulation) {
+  const core::Tree tree = test_tree(6, 80);
+  PlanRequest request = parents_request(tree, 1, 1.2);
+  parallel::ParallelConfig pc;
+  pc.workers = 2;
+  pc.priority = parallel::Priority::kSequentialOrder;
+  request.parallel = pc;
+  request.page_size = 4;
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse response = planner.plan(request);
+  ASSERT_TRUE(response.stats->ok) << response.stats->error;
+  ASSERT_TRUE(response.stats->replayed);
+  EXPECT_EQ(response.stats->page_size, 4);
+
+  const core::Weight memory = response.stats->memory;
+  const auto direct_plan = core::run_strategy(core::Strategy::kRecExpand, tree, memory);
+  parallel::PagedParallelConfig paged;
+  paged.base = pc;
+  paged.base.memory = memory;
+  paged.page_size = 4;
+  const auto direct = parallel::simulate_parallel_paged(tree, paged, direct_plan.schedule);
+  EXPECT_EQ(response.stats->replay_feasible, direct.base.feasible);
+  EXPECT_EQ(response.stats->makespan, direct.base.makespan);
+  EXPECT_EQ(response.stats->parallel_io, direct.base.io_volume);
+  EXPECT_EQ(response.stats->pages_written, direct.pages_written);
+  EXPECT_EQ(response.stats->pages_read, direct.pages_read);
+  EXPECT_EQ(response.stats->parallel_io, direct.pages_written * 4);
+}
+
+TEST(PlanService, PageSizeSeparatesCacheEntries) {
+  // Identical instance and replay config, different page geometry: the
+  // answers differ, so the fingerprints must too.
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request = parents_request(test_tree(7, 70), 1, 1.1);
+  parallel::ParallelConfig pc;
+  pc.workers = 2;
+  request.parallel = pc;
+  request.page_size = 0;  // unit replay
+  const PlanResponse unit = planner.plan(request);
+  request.page_size = 8;
+  const PlanResponse paged = planner.plan(request);
+  ASSERT_TRUE(unit.stats->ok) << unit.stats->error;
+  ASSERT_TRUE(paged.stats->ok) << paged.stats->error;
+  EXPECT_EQ(paged.served, Served::kComputed) << "page_size must not collide in the cache";
+  EXPECT_FALSE(service::identical(*unit.stats, *paged.stats));
+  // Re-serving either geometry hits its own entry.
+  EXPECT_EQ(planner.plan(request).served, Served::kCached);
+  request.page_size = 0;
+  EXPECT_EQ(planner.plan(request).served, Served::kCached);
+}
+
+TEST(PlanService, PageSizeWithoutReplayFails) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request = parents_request(test_tree(8), 1);
+  // Warm the cache with the valid page_size=0 twin first: the invalid
+  // request below must fail, not collide with this entry and be served
+  // its cached success (regression: page_size used to enter the key only
+  // under a parallel config, and validation ran after the cache layers).
+  ASSERT_TRUE(planner.plan(request).stats->ok);
+  request.page_size = 4;  // no parallel config
+  const PlanResponse response = planner.plan(request);
+  ASSERT_FALSE(response.stats->ok);
+  EXPECT_EQ(response.served, Served::kComputed);
+  EXPECT_NE(response.stats->error.find("page_size"), std::string::npos);
+  EXPECT_EQ(planner.stats().cached, 0u);
+  // The invalid answer is not cached either: retrying still fails.
+  EXPECT_FALSE(planner.plan(request).stats->ok);
+}
+
 TEST(PlanService, MatrixMarketRequestMatchesDirectPipeline) {
   const std::string path = ::testing::TempDir() + "service_instance.mtx";
   {
@@ -270,7 +340,7 @@ TEST(RequestIo, ParsesJsonlFields) {
   const auto request = service::request_from_json(
       R"({"id": 7, "nodes": 120, "w_lo": 2, "w_hi": 9, "seed": 5, "memory_lb": 1.5, )"
       R"("strategy": "optminmem", "workers": 4, "priority": "critical-path", "evict": "lru", )"
-      R"("backfill": false})");
+      R"("backfill": false, "page_size": 16})");
   EXPECT_EQ(request.id, 7);
   EXPECT_EQ(request.source, TreeSource::kSynth);
   EXPECT_EQ(request.nodes, 120u);
@@ -284,6 +354,7 @@ TEST(RequestIo, ParsesJsonlFields) {
   EXPECT_EQ(request.parallel->priority, parallel::Priority::kCriticalPath);
   EXPECT_EQ(request.parallel->evict, core::EvictionPolicy::kLru);
   EXPECT_FALSE(request.parallel->backfill);
+  EXPECT_EQ(request.page_size, 16);
 }
 
 TEST(RequestIo, ParsesParentArraysAndInfersSource) {
@@ -310,6 +381,11 @@ TEST(RequestIo, RejectsMalformedInput) {
   // Replay knobs without workers would silently drop the replay block.
   EXPECT_THROW((void)service::request_from_json(R"({"nodes": 5, "evict": "lru"})"),
                std::runtime_error);
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": 5, "page_size": 4})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)service::request_from_json(R"({"nodes": 5, "workers": 2, "page_size": 0})"),
+      std::runtime_error);
   std::istringstream bad("{\"nodes\": 10}\n{\"oops\n");
   EXPECT_THROW((void)service::read_requests_jsonl(bad), std::runtime_error);
   // CSV booleans must be 1/0/true/false, not a silent false.

@@ -50,4 +50,50 @@ inline core::Weight checked_fif_io(const core::Tree& tree, const core::Schedule&
   return r.io_volume;
 }
 
+/// Pinned fixture for the transient-reservation accounting fix (PR 3),
+/// shared by the sequential pager (tests/test_pager.cpp) and the paged
+/// parallel engine (tests/test_paged_parallel.cpp): working space must be
+/// *reserved* in the frame accounting, not just checked as head-room. With
+/// root wbar = 10 the leaf output (2) plus the root's transient extra (8)
+/// peaks at exactly 10 allocated frames with zero I/O — and one unit less
+/// memory is infeasible.
+struct TransientReservationFixture {
+  core::Tree tree;
+  core::Schedule schedule;
+  core::Weight feasible_memory;    ///< peak == this, no I/O
+  core::Weight infeasible_memory;  ///< one unit below: must be rejected
+  std::int64_t expected_peak_frames;
+};
+
+inline TransientReservationFixture transient_reservation_fixture() {
+  return {core::make_tree({{core::kNoNode, 10}, {0, 2}}), {1, 0}, 10, 9, 10};
+}
+
+/// Pinned fixture for write-at-most-once accounting (PR 3), shared by both
+/// engines: datum B (4 pages at page_size 1) is partially evicted twice on
+/// the way down a chain — 2 pages, then 1 more — so the correct write
+/// count is 3 distinct dirty pages across 2 eviction events, not "whole
+/// datum per event" (8) nor the event count (2).
+/// ids: 0=root(w1); 1=B(w4); 2=s4(w1); 3=s3(w4); 4=s2(w1); 5=s1(w3);
+/// chain s1 -> s2 -> s3 -> s4 -> root, B -> root. LB = wbar(root) = 5.
+struct ThrashFixture {
+  core::Tree tree;
+  core::Schedule schedule;
+  core::Weight memory;
+  std::int64_t expected_pages_written;
+  std::int64_t expected_pages_read;
+  std::int64_t expected_eviction_events;
+  std::int64_t expected_peak_frames;
+};
+
+inline ThrashFixture thrash_fixture() {
+  return {core::make_tree({{core::kNoNode, 1}, {0, 4}, {0, 1}, {2, 4}, {3, 1}, {4, 3}}),
+          {1, 5, 4, 3, 2, 0},
+          5,
+          3,
+          3,
+          2,
+          5};
+}
+
 }  // namespace ooctree::test

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Verifies that every relative link in the given markdown files points at an
+existing file or directory (anchors are stripped; intra-file anchors are
+checked against the file's own headings). External http(s)/mailto links are
+*not* fetched — the check must stay deterministic and offline — but their
+URL syntax is sanity-checked.
+
+Usage:
+    python3 tools/check_links.py [file.md ...]
+
+With no arguments, checks README.md, ROADMAP.md, CHANGES.md and every
+*.md under docs/, relative to the repository root (the script's parent
+directory). Exits non-zero listing every broken link. Run by CI
+(.github/workflows/ci.yml, link-check job) and registered as the
+docs_link_check ctest when a Python interpreter is available.
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# ![alt](img) and [text](target). Image links are extracted first and then
+# replaced by their alt text, so badge patterns like [![CI](img)](target)
+# yield both the image URL and the outer target. Inline code spans are
+# stripped before either pass so that example snippets like
+# `args.get("batch", "")` are not parsed as links.
+IMAGE = re.compile(r"!\[([^\]\[]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def link_targets(line: str) -> list[str]:
+    """Every link target on the line: image URLs, then plain/badge links."""
+    targets = [m.group(2) for m in IMAGE.finditer(line)]
+    targets += [m.group(1) for m in LINK.finditer(IMAGE.sub(r"\1", line))]
+    return targets
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation out."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    shown = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    text = path.read_text(encoding="utf-8")
+    anchors = {github_anchor(h) for h in HEADING.findall(text)}
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in link_targets(CODE_SPAN.sub("", line)):
+            where = f"{shown}:{lineno}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                if " " in target or target in ("http://", "https://", "mailto:"):
+                    errors.append(f"{where}: malformed URL '{target}'")
+                continue
+            if target.startswith("#"):
+                if target[1:] not in anchors:
+                    errors.append(f"{where}: missing anchor '{target}'")
+                continue
+            rel, _, anchor = target.partition("#")
+            dest = (path.parent / rel).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken link '{target}'")
+            elif anchor and dest.suffix == ".md":
+                dest_anchors = {github_anchor(h)
+                                for h in HEADING.findall(dest.read_text(encoding="utf-8"))}
+                if anchor not in dest_anchors:
+                    errors.append(f"{where}: missing anchor '#{anchor}' in {rel}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [pathlib.Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / name for name in ("README.md", "ROADMAP.md", "CHANGES.md")]
+        files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    errors: list[str] = [f"file not found: {f}" for f in missing]
+    for f in files:
+        if f.exists():
+            errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+    checked = len(files) - len(missing)
+    print(f"checked {checked} file(s): {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
