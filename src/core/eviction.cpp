@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
+#include "src/core/check.hpp"
 #include "src/util/text.hpp"
 
 namespace ooctree::core {
@@ -78,6 +80,14 @@ void EvictionIndex::insert(NodeId id, std::int64_t key) {
 
 void EvictionIndex::erase(NodeId id) {
   if (version_[idx(id)] == 0) return;
+#if OOCTREE_AUDIT_ENABLED
+  if (fault::eviction_index.load(std::memory_order_relaxed) == 1) {
+    // Test-only corruption: drop the live count but leave the version, the
+    // exact live_/version_ drift audit() exists to detect.
+    --live_;
+    return;
+  }
+#endif
   version_[idx(id)] = 0;
   --live_;
   if (policy_ == EvictionPolicy::kRandom) {
@@ -90,6 +100,31 @@ void EvictionIndex::erase(NodeId id) {
 }
 
 bool EvictionIndex::contains(NodeId id) const { return version_[idx(id)] != 0; }
+
+void EvictionIndex::audit() const {
+  std::size_t live = 0;
+  for (const std::uint32_t v : version_)
+    if (v != 0) ++live;
+  audit_check(live == live_, "EvictionIndex: live count != ids with a live version");
+  if (policy_ == EvictionPolicy::kRandom) {
+    audit_check(dense_.size() == live_, "EvictionIndex: dense set size != live count");
+    for (std::size_t pos = 0; pos < dense_.size(); ++pos) {
+      const NodeId id = dense_[pos];
+      audit_check(version_[idx(id)] != 0, "EvictionIndex: dense entry for an absent id");
+      audit_check(dense_pos_[idx(id)] == pos, "EvictionIndex: dense position map broken");
+    }
+    return;
+  }
+  // Non-random: exactly one heap entry per live id carries the current
+  // version (stale duplicates are expected — lazy deletion).
+  std::size_t current = 0;
+  for (const Entry& e : heap_) {
+    audit_check(static_cast<std::size_t>(e.id) < version_.size(),
+                "EvictionIndex: heap entry id out of range");
+    if (version_[idx(e.id)] == e.version) ++current;
+  }
+  audit_check(current == live_, "EvictionIndex: live ids without a current heap entry");
+}
 
 NodeId EvictionIndex::pick() {
   if (live_ == 0) return kNoNode;

@@ -84,6 +84,14 @@ class EvictionIndex {
   /// with ties to the smaller id; kRandom draws uniformly per call.
   [[nodiscard]] NodeId pick();
 
+  /// Full consistency sweep, throwing core::AuditError on drift: the live
+  /// count equals the number of ids with a live version, every live id has
+  /// exactly one current heap entry (or dense slot under kRandom), and the
+  /// dense position map inverts the dense array. O(capacity + heap size);
+  /// compiled in every preset, called by the audit-enabled engines and
+  /// directly by tests (see src/core/check.hpp).
+  void audit() const;
+
  private:
   struct Entry {
     std::int64_t key = 0;  ///< normalized: larger always means evict sooner

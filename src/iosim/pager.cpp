@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/check.hpp"
 #include "src/util/rng.hpp"
 
 namespace ooctree::iosim {
@@ -73,6 +74,29 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
   // coincide: both equal the production step.
   EvictionIndex index(config.policy, tree.size(),
                       config.policy == Policy::kRandom ? &rng : nullptr);
+
+#if OOCTREE_AUDIT_ENABLED
+  // Between steps no transient reservation is held, so conservation is
+  // exact: frames_used is precisely the resident pages, every datum's
+  // dirty subset fits inside its resident subset, and no datum ever grows
+  // beyond its own size. O(n) per step — audit builds trade speed for the
+  // invariant net.
+  const auto audit_step = [&] {
+    Weight resident_total = 0;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      const DatumState& d = state[i];
+      core::audit_check(d.dirty_pages >= 0 && d.dirty_pages <= d.resident_pages,
+                        "run_pager: dirty pages outside [0, resident]");
+      core::audit_check(d.resident_pages <= d.total_pages,
+                        "run_pager: resident pages exceed the datum size");
+      resident_total += d.resident_pages;
+    }
+    core::audit_check(resident_total == frames_used,
+                      "run_pager: frames_used != resident pages (reservation leak)");
+    core::audit_check(frames_used <= frames, "run_pager: frames_used exceeds the frame count");
+    index.audit();
+  };
+#endif
 
   // Frees frames until `needed` are available, evicting via the policy.
   // Only dirty pages cost a write: a page with a disk copy is dropped for
@@ -147,7 +171,13 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
       stats.feasible = false;
       return stats;
     }
+#if OOCTREE_AUDIT_ENABLED
+    // Test-only seed-bug reintroduction: head-room checked but never
+    // allocated. The end-of-step conservation audit must catch it.
+    if (core::fault::pager.load(std::memory_order_relaxed) != 1) frames_used += extra;
+#else
     frames_used += extra;  // reserve the transient working space
+#endif
     stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used);
 
     // 3. Execution: children pages are consumed and the reservation is
@@ -178,6 +208,9 @@ PagerStats run_pager(const Tree& tree, const Schedule& schedule, const PagerConf
       index.insert(node, key);
     }
     stats.peak_frames_used = std::max(stats.peak_frames_used, frames_used);
+#if OOCTREE_AUDIT_ENABLED
+    audit_step();
+#endif
   }
 
   stats.feasible = true;

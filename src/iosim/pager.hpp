@@ -23,6 +23,12 @@
 //     O(log n) per pick, never a per-eviction scan of every datum; a
 //     replay is O((n + evictions) log n).
 //
+// Under OOCTREE_AUDIT builds (the dev preset) the replay re-checks the
+// first two invariants after every step — frames conservation against the
+// resident pages, dirty-within-resident, per-datum size bounds — throwing
+// core::AuditError on drift (src/core/check.hpp; exercised plus
+// fault-injected by tests/test_audit.cpp).
+//
 // Two uses:
 //   * cross-validation — with page_size = 1 and the Belady policy, the
 //     pager's write count must equal core::simulate_fif exactly;

@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/core/check.hpp"
 #include "src/core/minmem_postorder.hpp"
 #include "src/iosim/pager.hpp"
 #include "src/util/rng.hpp"
@@ -197,6 +198,45 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   core::EvictionIndex index(base.evict, tree.size(),
                             base.evict == EvictionPolicy::kRandom ? &rng : nullptr);
 
+#if OOCTREE_AUDIT_ENABLED
+  // Audit-only running set (the event queue is not iterable): lets the
+  // audit recompute the reservation sum independently of running_frames.
+  std::vector<NodeId> audit_running;
+  // Invariants of the shared transactional-start core, checked after every
+  // completion event and at the end of the run (see parallel_sim.hpp):
+  //   * reservation balance — running_frames is exactly the sum of
+  //     work_frames over running tasks;
+  //   * conservation — frames_used is exactly running reservations plus
+  //     resident output pages, and never exceeds the frame count;
+  //   * write-at-most-once — a datum's written volume never exceeds its
+  //     page-rounded size, and the aggregate equals the per-node sum.
+  const auto audit_state = [&] {
+    Weight resident_total = 0;
+    Weight io_total = 0;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      core::audit_check(dirty[i] >= 0 && dirty[i] <= resident[i],
+                        "simulate_parallel_paged: dirty pages outside [0, resident]");
+      core::audit_check(resident[i] <= total_pages[i],
+                        "simulate_parallel_paged: resident pages exceed the datum size");
+      core::audit_check(result.io[i] <= total_pages[i] * page,
+                        "simulate_parallel_paged: datum written beyond its size (write-once)");
+      resident_total += resident[i];
+      io_total += result.io[i];
+    }
+    core::audit_check(io_total == result.io_volume,
+                      "simulate_parallel_paged: io_volume != sum of per-node I/O");
+    Weight reservation_total = 0;
+    for (const NodeId r : audit_running) reservation_total += work_frames[idx(r)];
+    core::audit_check(reservation_total == running_frames,
+                      "simulate_parallel_paged: running reservation out of balance");
+    core::audit_check(resident_total + running_frames == frames_used,
+                      "simulate_parallel_paged: frames conservation broken");
+    core::audit_check(frames_used <= frames,
+                      "simulate_parallel_paged: frames_used exceeds the frame count");
+    index.audit();
+  };
+#endif
+
   // Transactional start: the O(1) precheck below is exact — every live
   // output except i's children is fully evictable (dirty pages cost a
   // write, clean ones are dropped free), so i fits (after eviction) iff
@@ -206,7 +246,20 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   // charged io_volume even when the start then failed, making results
   // depend on how often backfill retried).
   const auto try_start = [&](NodeId i) -> bool {
-    if (running_frames + work_frames[idx(i)] > frames) return false;
+    if (running_frames + work_frames[idx(i)] > frames) {
+#if OOCTREE_AUDIT_ENABLED
+      // Snapshot-free transactional check: this failure path runs before
+      // any mutation, so the accounting aggregates must be exactly what the
+      // caller's loop saw. The fault below re-introduces the PR 3 seed bug
+      // (failed starts charged I/O) for tests/test_audit.cpp to catch.
+      const Weight io_before = result.io_volume;
+      if (core::fault::parallel_engine.load(std::memory_order_relaxed) & 1)
+        result.io_volume += page;
+      core::audit_check(result.io_volume == io_before,
+                        "simulate_parallel_paged: failed start mutated I/O accounting");
+#endif
+      return false;
+    }
 
     Weight child_resident = 0;
     for (const NodeId c : tree.children(i)) child_resident += resident[idx(c)];
@@ -277,6 +330,9 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     result.busy_time += cost;  // compute only: read stalls are not useful work
     running.emplace(now + stall + cost, i);
     --idle;
+#if OOCTREE_AUDIT_ENABLED
+    audit_running.push_back(i);
+#endif
     return true;
   };
 
@@ -319,6 +375,12 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     // output is produced in memory, so every page starts dirty.
     frames_used -= work_frames[idx(node)];
     running_frames -= work_frames[idx(node)];
+#if OOCTREE_AUDIT_ENABLED
+    audit_running.erase(std::find(audit_running.begin(), audit_running.end(), node));
+    // Test-only seed-bug class: completion leaks one frame of its
+    // reservation — the conservation audit below must catch it.
+    if (core::fault::parallel_engine.load(std::memory_order_relaxed) & 2) ++frames_used;
+#endif
     if (node != tree.root()) {
       frames_used += total_pages[idx(node)];
       resident[idx(node)] = total_pages[idx(node)];
@@ -331,8 +393,17 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     const NodeId parent = tree.parent(node);
     if (parent != kNoNode && --missing_children[idx(parent)] == 0)
       ready.push(Ready{priority_key[idx(parent)], ref_pos[idx(parent)], parent});
+
+#if OOCTREE_AUDIT_ENABLED
+    audit_state();
+#endif
   }
 
+#if OOCTREE_AUDIT_ENABLED
+  audit_state();
+  core::audit_check(frames_used == 0 && running_frames == 0,
+                    "simulate_parallel_paged: frames still allocated after the root completed");
+#endif
   result.makespan = now;
   result.feasible = true;
   return paged;

@@ -35,6 +35,11 @@
 //   * indexed eviction — victims come from core::EvictionIndex in
 //     O(log n), never from a scan of all n nodes; overall the engine is
 //     O((n + evictions) log n) per simulation.
+// Under OOCTREE_AUDIT builds (the dev preset) the engine re-checks these
+// invariants at runtime after every completion event — reservation
+// balance, frames conservation, write-at-most-once, mutation-free failed
+// starts — throwing core::AuditError on drift (src/core/check.hpp;
+// exercised plus fault-injected by tests/test_audit.cpp).
 // The retained scan-based engine (simulate_parallel_reference, O(n) victim
 // scan + sort per start) is the differential oracle:
 // tests/test_parallel_incremental.cpp pins both engines bit-identical, and

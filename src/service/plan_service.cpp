@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/check.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace ooctree::service {
@@ -207,6 +208,31 @@ std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request
     return failed;
   }
   return stats;
+}
+
+void PlanService::audit(bool quiescent) const {
+  // Counter relations that hold at every instant of serve(): the served
+  // counters (computed/cached/coalesced) are bumped before completed_, and
+  // nothing is served that was not submitted. Loads are monotone, so a
+  // concurrent serve can only widen the inequalities, never break them —
+  // read completed_ first and submitted_ last to keep the comparison safe.
+  const std::uint64_t completed = completed_.load();
+  const std::uint64_t failed = failed_.load();
+  const std::uint64_t served = computed_.load() + cached_.load() + coalesced_.load();
+  const std::uint64_t submitted = submitted_.load();
+  core::audit_check(completed <= served,
+                    "PlanService: completed responses outnumber served ones");
+  core::audit_check(served <= submitted, "PlanService: served responses outnumber submissions");
+  core::audit_check(failed <= served, "PlanService: failed responses outnumber served ones");
+  {
+    const std::lock_guard lock(inflight_mutex_);
+    if (quiescent)
+      core::audit_check(inflight_.empty(),
+                        "PlanService: in-flight computations left behind at quiescence");
+    for (const auto& entry : inflight_)
+      core::audit_check(entry.second.valid(), "PlanService: invalid in-flight future");
+  }
+  cache_.audit();
 }
 
 ServiceStats PlanService::stats() const {

@@ -87,6 +87,16 @@ class PlanService {
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
+  /// Consistency sweep over the service counters, the in-flight table and
+  /// the result cache, throwing core::AuditError on drift. Safe to call
+  /// while requests are in flight: it only asserts the monotone relations
+  /// that hold mid-serve (completed <= computed + cached + coalesced <=
+  /// submitted, every pending in-flight future valid) plus the full
+  /// ResultCache::audit(). At quiescence (every future resolved) the
+  /// in-flight table must be empty — pass `quiescent = true` to assert
+  /// that and the exact completed == computed + cached + coalesced balance.
+  void audit(bool quiescent = false) const;
+
  private:
   PlanResponse serve(const PlanRequest& request);
   [[nodiscard]] std::shared_ptr<const PlanStats> compute(const PlanRequest& request,
@@ -97,8 +107,9 @@ class PlanService {
   ResultCache cache_;
 
   /// Canonical keys currently being computed; waiters share the leader's
-  /// eventual PlanStats through a shared_future.
-  std::mutex inflight_mutex_;
+  /// eventual PlanStats through a shared_future. Mutable so the const
+  /// audit() sweep can take the lock.
+  mutable std::mutex inflight_mutex_;
   std::unordered_map<CacheKey, std::shared_future<std::shared_ptr<const PlanStats>>,
                      CacheKeyHash>
       inflight_;

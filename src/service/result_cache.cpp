@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/check.hpp"
 #include "src/util/rng.hpp"
 
 namespace ooctree::service {
@@ -65,6 +66,27 @@ void ResultCache::put(const CacheKey& key, std::shared_ptr<const PlanStats> valu
     shard.map.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
+  }
+}
+
+void ResultCache::audit() const {
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    core::audit_check(shard->map.size() == shard->lru.size(),
+                      "ResultCache: shard map and LRU list disagree on size");
+    core::audit_check(shard->lru.size() <= shard_capacity_,
+                      "ResultCache: shard holds more entries than its capacity");
+    for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
+      const auto slot = shard->map.find(it->first);
+      core::audit_check(slot != shard->map.end(),
+                        "ResultCache: LRU entry missing from the shard map");
+      core::audit_check(slot->second == it, "ResultCache: shard map points at the wrong node");
+      core::audit_check(it->second != nullptr, "ResultCache: cached value is null");
+    }
+    // Insertion and eviction are the only ways entries appear and leave,
+    // so the counters must reproduce the shard's population exactly.
+    core::audit_check(shard->insertions == shard->evictions + shard->lru.size(),
+                      "ResultCache: insertion/eviction counters cannot produce this shard");
   }
 }
 

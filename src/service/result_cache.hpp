@@ -68,6 +68,15 @@ class ResultCache {
   [[nodiscard]] CacheCounters counters() const;
   [[nodiscard]] bool enabled() const { return shard_capacity_ > 0; }
 
+  /// Full consistency sweep, throwing core::AuditError on drift: per
+  /// shard, the hash map and the LRU list describe the same entries (same
+  /// size, every map slot points at a list node carrying its own key, no
+  /// null values), the shard respects its capacity, and the hit/miss/
+  /// insertion/eviction counters are mutually consistent. Takes each shard
+  /// lock in turn, so it is safe to call concurrently with get/put;
+  /// compiled in every preset (see src/core/check.hpp).
+  void audit() const;
+
  private:
   struct Shard {
     std::mutex mutex;

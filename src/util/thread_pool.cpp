@@ -11,16 +11,21 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   // Drain-then-stop: workers only exit once the queue is empty (see
   // worker_loop), so every future handed out by submit() gets its result
-  // (or exception) before the threads are joined.
+  // (or exception) before the threads are joined. Concurrent shutdown()
+  // calls serialize on join_mutex_; the loser finds nothing joinable.
   {
     const std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  const std::lock_guard join_lock(join_mutex_);
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {

@@ -9,10 +9,13 @@
 //     calling thread.
 //   * submit — asynchronous tasks: returns a std::future for the task's
 //     result; exceptions propagate through the future. Shutdown is
-//     drain-then-stop: the destructor runs every task already queued before
-//     joining, so a future obtained from submit() is never silently
+//     drain-then-stop: every task already queued runs before the workers
+//     are joined, so a future obtained from submit() is never silently
 //     abandoned (no broken_promise). submit() after shutdown has begun
 //     throws instead of enqueueing work that could never be drained safely.
+//     shutdown() is callable explicitly (idempotent, any thread, safe
+//     against concurrent submitters — the concurrency stress suite races
+//     them under TSan); the destructor is just shutdown().
 #pragma once
 
 #include <condition_variable>
@@ -57,6 +60,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Drain-then-stop: marks the pool stopping (submit() from any thread
+  /// now throws), lets the workers run every task already queued, then
+  /// joins them. Idempotent and safe to race with concurrent submitters —
+  /// each racing submit() either enqueues before the stop (its future
+  /// resolves) or throws. The destructor calls this.
+  void shutdown();
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
@@ -65,6 +75,7 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::mutex join_mutex_;  ///< serializes concurrent shutdown() joins
   bool stopping_ = false;
 };
 

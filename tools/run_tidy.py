@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a ratcheting baseline.
+
+Runs clang-tidy (configuration in .clang-tidy) over every first-party
+translation unit in a compile_commands.json and normalises the findings to
+(file, check) pairs with occurrence counts. The committed baseline,
+tools/tidy_baseline.json, lists the findings we have consciously decided
+to tolerate — each entry carries a one-line justification — and the gate
+is a ratchet:
+
+  * a finding NOT in the baseline fails the check (new debt is rejected);
+  * a baselined finding that has disappeared is reported so the baseline
+    can be shrunk (stale entries are not an error, only noise).
+
+Usage:
+    python3 tools/run_tidy.py --check [--build-dir build] [--strict]
+    python3 tools/run_tidy.py --update-baseline [--build-dir build]
+    python3 tools/run_tidy.py --self-test
+
+Exit codes:
+    0   clean (or skipped without --strict)
+    1   new findings, or clang-tidy itself errored
+    77  environment cannot run the check (no clang-tidy, or no
+        compile_commands.json); ctest maps this to SKIPPED via
+        SKIP_RETURN_CODE, CI's clang-tidy job passes --strict to turn it
+        into a hard failure instead.
+
+Registered as the clang_tidy_check ctest (see the Python tooling block in
+CMakeLists.txt) next to docs_link_check; --self-test is registered as
+tidy_driver_selftest and exercises the diff logic with canned findings so
+the gate's behaviour is itself tested on machines without clang-tidy.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "tools" / "tidy_baseline.json"
+SKIP = 77
+
+# warning lines look like:
+#   /abs/path/src/core/tree.cpp:42:7: warning: ... [bugprone-foo,bugprone-bar]
+DIAG = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<level>warning|error):\s+(?P<msg>.*?)\s+\[(?P<checks>[\w\-.,]+)\]\s*$",
+    re.MULTILINE,
+)
+
+
+def find_clang_tidy() -> str | None:
+    """The clang-tidy binary: $CLANG_TIDY, then PATH, then versioned names."""
+    import os
+
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", *(f"clang-tidy-{v}" for v in range(21, 12, -1))):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir: pathlib.Path) -> list[pathlib.Path]:
+    """Repo-owned TUs from compile_commands.json: src/, tests/, bench/.
+
+    Third-party TUs (GoogleTest via FetchContent, anything under the build
+    tree) are excluded — their findings are not ours to fix.
+    """
+    db = build_dir / "compile_commands.json"
+    entries = json.loads(db.read_text(encoding="utf-8"))
+    wanted: list[pathlib.Path] = []
+    for entry in entries:
+        path = pathlib.Path(entry["file"])
+        if not path.is_absolute():
+            path = (pathlib.Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.parts[0] in ("src", "tests", "bench", "tools"):
+            wanted.append(path)
+    return sorted(set(wanted))
+
+
+def normalise(findings_text: str) -> dict[str, int]:
+    """Raw clang-tidy output -> {"relpath:check": count}.
+
+    Deduplicated per (file, line, col, check) first, so a header included
+    from N translation units contributes each diagnostic site once, then
+    aggregated to (file, check) counts — line numbers are deliberately NOT
+    part of the baseline key, so unrelated edits above a tolerated finding
+    do not churn the baseline.
+    """
+    sites: set[tuple[str, str, str, str]] = set()
+    for m in DIAG.finditer(findings_text):
+        path = pathlib.Path(m.group("file"))
+        try:
+            shown = str(path.resolve().relative_to(REPO_ROOT))
+        except ValueError:
+            continue  # a system or third-party header slipped past the filter
+        for check in m.group("checks").split(","):
+            sites.add((shown, m.group("line"), m.group("col"), check))
+    counts: dict[str, int] = {}
+    for shown, _line, _col, check in sites:
+        key = f"{shown}:{check}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline() -> dict[str, int]:
+    """Committed baseline -> {"relpath:check": tolerated_count}."""
+    if not BASELINE_PATH.exists():
+        return {}
+    data = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    return {
+        f"{e['file']}:{e['check']}": int(e.get("count", 1))
+        for e in data.get("findings", [])
+    }
+
+
+def diff_against_baseline(
+    current: dict[str, int], baseline: dict[str, int]
+) -> tuple[list[str], list[str]]:
+    """(new_findings, stale_entries) — the ratchet.
+
+    A key is NEW if absent from the baseline or exceeding its tolerated
+    count; STALE if baselined but no longer observed (or observed fewer
+    times). New findings fail the gate; stale entries are advisory.
+    """
+    new: list[str] = []
+    stale: list[str] = []
+    for key in sorted(current):
+        allowed = baseline.get(key, 0)
+        if current[key] > allowed:
+            new.append(f"{key} (found {current[key]}, baseline {allowed})")
+    for key in sorted(baseline):
+        if current.get(key, 0) < baseline[key]:
+            stale.append(f"{key} (baseline {baseline[key]}, found {current.get(key, 0)})")
+    return new, stale
+
+
+def run_clang_tidy(tidy: str, build_dir: pathlib.Path) -> tuple[dict[str, int], int]:
+    """All findings over the first-party TUs; (counts, tool_failures)."""
+    sources = first_party_sources(build_dir)
+    if not sources:
+        print(f"no first-party sources in {build_dir}/compile_commands.json")
+        return {}, 1
+    chunks: list[str] = []
+    failures = 0
+    for i, source in enumerate(sources, start=1):
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", str(source)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            check=False,
+        )
+        chunks.append(proc.stdout)
+        # clang-tidy exits non-zero on compile *errors* (broken include
+        # paths, wrong std flag), which means the run is unsound, not that
+        # the code has findings.
+        if proc.returncode != 0 and "error:" in (proc.stdout + proc.stderr):
+            sys.stderr.write(proc.stderr)
+            failures += 1
+        print(f"  [{i}/{len(sources)}] {source.relative_to(REPO_ROOT)}", flush=True)
+    return normalise("\n".join(chunks)), failures
+
+
+def resolve_build_dir(arg: str | None) -> pathlib.Path | None:
+    """The build tree holding compile_commands.json (all presets export it)."""
+    candidates = (
+        [pathlib.Path(arg)]
+        if arg
+        else [REPO_ROOT / d for d in ("build", "build-dev", "build-asan", "build-tsan")]
+    )
+    for cand in candidates:
+        if (cand / "compile_commands.json").exists():
+            return cand
+    return None
+
+
+def self_test() -> int:
+    """Prove the ratchet on canned findings — no clang-tidy required.
+
+    This is what makes the gate trustworthy on machines that skip the real
+    run: if the diff logic regressed, this fails everywhere.
+    """
+    canned = """\
+/ROOT/src/core/tree.cpp:10:5: warning: uninitialised thing [bugprone-foo]
+/ROOT/src/core/tree.cpp:99:1: warning: same check, new site [bugprone-foo]
+/ROOT/src/core/tree.cpp:10:5: warning: duplicate of line one [bugprone-foo]
+/ROOT/src/iosim/pager.cpp:7:2: warning: two checks at once [performance-x,bugprone-y]
+/usr/include/c++/12/vector:1:1: warning: not ours [bugprone-z]
+""".replace("/ROOT", str(REPO_ROOT))
+    counts = normalise(canned)
+    expect = {
+        "src/core/tree.cpp:bugprone-foo": 2,  # three lines, one duplicate site
+        "src/iosim/pager.cpp:performance-x": 1,
+        "src/iosim/pager.cpp:bugprone-y": 1,
+    }
+    failures: list[str] = []
+    if counts != expect:
+        failures.append(f"normalise: got {counts!r}, want {expect!r}")
+
+    baseline = {"src/core/tree.cpp:bugprone-foo": 2, "src/gone.cpp:bugprone-old": 1}
+    new, stale = diff_against_baseline(counts, baseline)
+    if [n.split(" ")[0] for n in new] != [
+        "src/iosim/pager.cpp:bugprone-y",
+        "src/iosim/pager.cpp:performance-x",
+    ]:
+        failures.append(f"diff new-findings: got {new!r}")
+    if [s.split(" ")[0] for s in stale] != ["src/gone.cpp:bugprone-old"]:
+        failures.append(f"diff stale-entries: got {stale!r}")
+
+    # The ratchet must also catch count REGRESSIONS of a baselined check.
+    grown = dict(counts)
+    grown["src/core/tree.cpp:bugprone-foo"] = 3
+    new2, _ = diff_against_baseline(grown, baseline)
+    if not any(n.startswith("src/core/tree.cpp:bugprone-foo") for n in new2):
+        failures.append("diff missed a count regression over the baseline")
+
+    # And a clean run against an empty baseline must pass.
+    new3, stale3 = diff_against_baseline({}, {})
+    if new3 or stale3:
+        failures.append("empty-vs-empty must be clean")
+
+    for f in failures:
+        print(f"SELF-TEST FAIL: {f}")
+    print(f"self-test: {4 - len(failures)}/4 scenarios pass")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="fail on findings not in tools/tidy_baseline.json")
+    mode.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    mode.add_argument("--self-test", action="store_true",
+                      help="exercise the diff logic with canned findings")
+    parser.add_argument("--build-dir", default=None,
+                        help="build tree with compile_commands.json "
+                             "(default: first of build, build-dev, build-asan, build-tsan)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat a skipped environment as a failure (CI)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("clang-tidy not found on PATH (set $CLANG_TIDY to override)")
+        return 1 if args.strict else SKIP
+    build_dir = resolve_build_dir(args.build_dir)
+    if build_dir is None:
+        print("no compile_commands.json found; configure a preset first "
+              "(all presets export it)")
+        return 1 if args.strict else SKIP
+
+    print(f"using {tidy} with {build_dir.relative_to(REPO_ROOT)}/compile_commands.json")
+    current, tool_failures = run_clang_tidy(tidy, build_dir)
+    if tool_failures:
+        print(f"clang-tidy failed to parse {tool_failures} TU(s); run unsound")
+        return 1
+
+    if args.update_baseline:
+        findings = [
+            {"file": key.rsplit(":", 1)[0], "check": key.rsplit(":", 1)[1],
+             "count": count, "reason": "TODO: one-line justification"}
+            for key, count in sorted(current.items())
+        ]
+        BASELINE_PATH.write_text(
+            json.dumps({"findings": findings}, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(findings)} finding(s) to {BASELINE_PATH.relative_to(REPO_ROOT)}")
+        return 0
+
+    new, stale = diff_against_baseline(current, load_baseline())
+    for n in new:
+        print(f"NEW: {n}")
+    for s in stale:
+        print(f"stale baseline entry (shrink it): {s}")
+    print(f"{sum(current.values())} finding(s), {len(new)} new, {len(stale)} stale")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
