@@ -42,6 +42,7 @@ const char* priority_name(Priority p) {
     case Priority::kSequentialOrder: return "sequential-order";
     case Priority::kCriticalPath: return "critical-path";
     case Priority::kHeaviestSubtree: return "heaviest-subtree";
+    case Priority::kReservedCriticalPath: return "reserved-critical-path";
   }
   return "?";
 }
@@ -51,6 +52,7 @@ struct Aggregate {
   int workers = 0;
   Priority priority = Priority::kCriticalPath;
   EvictionPolicy policy = EvictionPolicy::kBelady;
+  int depth = 0;  // backfill_depth (0 = unlimited scan)
   double incremental_seconds = 0.0;
   double reference_seconds = 0.0;  // 0 when the reference was not run
   Weight io_volume_total = 0;      // summed over reps (each rep is its own tree)
@@ -71,7 +73,8 @@ struct Aggregate {
 bool identical(const ParallelResult& a, const ParallelResult& b) {
   return a.feasible == b.feasible && a.makespan == b.makespan && a.io_volume == b.io_volume &&
          a.peak_resident == b.peak_resident && a.start_order == b.start_order &&
-         a.io == b.io && a.failed_starts == b.failed_starts;
+         a.io == b.io && a.failed_starts == b.failed_starts &&
+         a.backfill_scans == b.backfill_scans && a.backfill_hits == b.backfill_hits;
 }
 
 }  // namespace
@@ -103,20 +106,27 @@ int main(int argc, char** argv) {
       break;
   }
   const std::vector<int> worker_counts{1, 2, 4, 8};
+  // The scheduler ablation: sequential-order is the baseline every other
+  // priority's makespan column is read against.
   const std::vector<Priority> priorities{Priority::kCriticalPath, Priority::kHeaviestSubtree,
-                                         Priority::kSequentialOrder};
+                                         Priority::kSequentialOrder,
+                                         Priority::kReservedCriticalPath};
   // The policy axis is swept at the 4-worker critical-path point; kBelady
-  // is covered by the workers x priority grid above it.
+  // is covered by the workers x priority grid above it. The backfill-depth
+  // axis rides the 4-worker reserved-critical-path point (0 = unlimited is
+  // in the grid; 1 = strict priority, 8 = bounded look-ahead here).
   const std::vector<EvictionPolicy> extra_policies{
       EvictionPolicy::kLru, EvictionPolicy::kRandom, EvictionPolicy::kLargestFirst};
+  const std::vector<int> extra_depths{1, 8};
 
   std::printf("== parallel out-of-core scaling: indexed vs reference engine ==\n");
   std::printf("scale=%s  sizes=%zu..%zu  M=1.1*LB  reference timed up to n=%zu\n\n", scale_name,
               sizes.front(), sizes.back(), reference_cap);
 
   util::CsvWriter csv("bench_parallel_scaling.csv",
-                      {"n", "memory", "workers", "priority", "policy", "engine", "rep",
-                       "seconds", "makespan", "io_volume", "peak_resident", "failed_starts"});
+                      {"n", "memory", "workers", "priority", "policy", "backfill_depth",
+                       "engine", "rep", "seconds", "makespan", "io_volume", "peak_resident",
+                       "failed_starts", "backfill_scans", "backfill_hits"});
 
   std::vector<Aggregate> aggregates;
   for (const std::size_t n : sizes) {
@@ -134,13 +144,16 @@ int main(int argc, char** argv) {
         int workers;
         Priority priority;
         EvictionPolicy policy;
+        int depth;
       };
       std::vector<Combo> combos;
       for (const int w : worker_counts)
         for (const Priority p : priorities)
-          combos.push_back({w, p, EvictionPolicy::kBelady});
+          combos.push_back({w, p, EvictionPolicy::kBelady, 0});
       for (const EvictionPolicy e : extra_policies)
-        combos.push_back({4, Priority::kCriticalPath, e});
+        combos.push_back({4, Priority::kCriticalPath, e, 0});
+      for (const int d : extra_depths)
+        combos.push_back({4, Priority::kReservedCriticalPath, EvictionPolicy::kBelady, d});
 
       for (const Combo& combo : combos) {
         ParallelConfig config;
@@ -148,15 +161,16 @@ int main(int argc, char** argv) {
         config.memory = memory;
         config.priority = combo.priority;
         config.evict = combo.policy;
+        config.backfill_depth = combo.depth;
 
         Aggregate* agg = nullptr;
         for (Aggregate& a : aggregates)
           if (a.n == n && a.workers == combo.workers && a.priority == combo.priority &&
-              a.policy == combo.policy)
+              a.policy == combo.policy && a.depth == combo.depth)
             agg = &a;
         if (agg == nullptr) {
           aggregates.push_back(Aggregate{n, combo.workers, combo.priority, combo.policy,
-                                         0.0, 0.0, 0, 0.0, 0, 0});
+                                         combo.depth, 0.0, 0.0, 0, 0.0, 0, 0});
           agg = &aggregates.back();
         }
 
@@ -169,8 +183,9 @@ int main(int argc, char** argv) {
         ++agg->reps;
         csv.row({static_cast<std::int64_t>(n), memory, combo.workers,
                  priority_name(combo.priority), core::eviction_policy_name(combo.policy),
-                 "incremental", rep, inc_seconds, inc.makespan, inc.io_volume,
-                 inc.peak_resident, inc.failed_starts});
+                 combo.depth, "incremental", rep, inc_seconds, inc.makespan, inc.io_volume,
+                 inc.peak_resident, inc.failed_starts, inc.backfill_scans,
+                 inc.backfill_hits});
 
         if (combo.policy == EvictionPolicy::kBelady && n <= reference_cap) {
           sw.reset();
@@ -180,8 +195,9 @@ int main(int argc, char** argv) {
           ++agg->ref_reps;
           csv.row({static_cast<std::int64_t>(n), memory, combo.workers,
                    priority_name(combo.priority), core::eviction_policy_name(combo.policy),
-                   "reference", rep, ref_seconds, ref.makespan, ref.io_volume,
-                   ref.peak_resident, ref.failed_starts});
+                   combo.depth, "reference", rep, ref_seconds, ref.makespan, ref.io_volume,
+                   ref.peak_resident, ref.failed_starts, ref.backfill_scans,
+                   ref.backfill_hits});
           if (!identical(inc, ref)) {
             std::printf("DIFFERENTIAL MISMATCH at n=%zu workers=%d priority=%s rep=%d\n", n,
                         combo.workers, priority_name(combo.priority), rep);
@@ -211,7 +227,7 @@ int main(int argc, char** argv) {
   const Aggregate* acceptance = nullptr;
   for (const Aggregate& a : aggregates)
     if (a.n == 3000 && a.workers == 4 && a.priority == Priority::kCriticalPath &&
-        a.policy == EvictionPolicy::kBelady && a.ref_reps > 0)
+        a.policy == EvictionPolicy::kBelady && a.depth == 0 && a.ref_reps > 0)
       acceptance = &a;
 
   // Written under a generated name (gitignored, like the CSV) so a casual
@@ -229,11 +245,12 @@ int main(int argc, char** argv) {
     const Aggregate& a = aggregates[k];
     std::fprintf(json,
                  "    {\"n\": %zu, \"workers\": %d, \"priority\": \"%s\", \"policy\": \"%s\", "
+                 "\"backfill_depth\": %d, "
                  "\"incremental_seconds\": %.6f, \"reference_seconds\": %s, "
                  "\"speedup\": %s, \"mean_io_volume\": %.2f, \"mean_makespan\": %.2f, "
                  "\"reps\": %d}%s\n",
                  a.n, a.workers, priority_name(a.priority),
-                 core::eviction_policy_name(a.policy).c_str(),
+                 core::eviction_policy_name(a.policy).c_str(), a.depth,
                  a.incremental_seconds / a.reps,
                  a.ref_reps > 0 ? std::to_string(a.reference_seconds / a.ref_reps).c_str()
                                 : "null",

@@ -55,6 +55,17 @@ void usage(const char* prog) {
       "  --workers N         also simulate N-worker parallel execution of the plan\n"
       "  --evict P           parallel eviction policy: belady (default) | lru |\n"
       "                      fifo | random | largest\n"
+      "  --priority P        replay start order: sequential-order (default) |\n"
+      "                      critical-path | heaviest-subtree | reserved-critical-path\n"
+      "  --backfill-depth K  ready tasks examined per free worker before the\n"
+      "                      replay waits for memory (0 = unlimited, 1 = strict)\n"
+      "  --reserve-penalty L memory-penalty strength of reserved-critical-path\n"
+      "                      (default 1.0; 0 = plain critical-path)\n"
+      "  --residency         prefer starts whose inputs are resident (paged\n"
+      "                      replay with a disk model only)\n"
+      "  --disk-latency S / --disk-bandwidth B\n"
+      "                      charge read-backs S seconds per transfer plus\n"
+      "                      volume/B against the paged makespan\n"
       "  --page-size P       simulate the plan page-granularly (P units per page)\n"
       "                      through the paged parallel engine; combine with\n"
       "                      --workers for a parallel paged replay (default 1\n"
@@ -220,12 +231,18 @@ int main(int argc, char** argv) {
       parallel::ParallelConfig pc;
       pc.workers = static_cast<int>(args.get_int("workers", args.has("page-size") ? 1 : 2));
       pc.memory = memory;
-      pc.priority = parallel::Priority::kSequentialOrder;
+      pc.priority = service::priority_from_name(args.get("priority", "sequential-order"));
+      pc.backfill_depth = static_cast<int>(args.get_int("backfill-depth", 0));
+      pc.reserve_penalty = args.get_double("reserve-penalty", 1.0);
+      pc.residency_aware = args.has("residency");
       pc.evict = core::eviction_policy_from_name(args.get("evict", "belady"));
       if (args.has("page-size")) {
         parallel::PagedParallelConfig paged;
         paged.base = pc;
         paged.page_size = args.get_int("page-size", 1);
+        if (args.get_double("disk-bandwidth", 0.0) > 0)
+          paged.disk = iosim::DiskModel{args.get_double("disk-latency", 0.0),
+                                        args.get_double("disk-bandwidth", 0.0)};
         const auto par = parallel::simulate_parallel_paged(tree, paged, plan.schedule);
         if (!par.base.feasible) {
           // Per-child page rounding raises the feasibility floor above LB.
@@ -239,11 +256,13 @@ int main(int argc, char** argv) {
           return 1;
         }
         std::fprintf(stderr,
-                     "paged replay (%d workers, %s eviction, page %lld, %lld frames): "
-                     "makespan %.0f, %lld pages written, %lld read, utilization %.0f%%\n",
-                     pc.workers, core::eviction_policy_name(pc.evict).c_str(),
+                     "paged replay (%d workers, %s priority, %s eviction, page %lld, "
+                     "%lld frames): makespan %.0f, %lld pages written, %lld read, "
+                     "read stall %.0f, utilization %.0f%%\n",
+                     pc.workers, service::priority_name(pc.priority).c_str(),
+                     core::eviction_policy_name(pc.evict).c_str(),
                      (long long)paged.page_size, (long long)par.frames, par.base.makespan,
-                     (long long)par.pages_written, (long long)par.pages_read,
+                     (long long)par.pages_written, (long long)par.pages_read, par.read_stall,
                      100.0 * par.base.utilization(pc.workers));
       } else {
         const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);

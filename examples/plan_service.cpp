@@ -58,8 +58,18 @@ std::vector<service::PlanRequest> demo_batch() {
       parallel::ParallelConfig pc;
       pc.workers = 4;
       pc.priority = parallel::Priority::kSequentialOrder;
+      if (k % 8 == 0) {
+        request.page_size = 16;  // exercise the paged replay
+        if (k % 16 == 0) {
+          // ... and the memory-aware scheduler under a disk-cost model.
+          pc.priority = parallel::Priority::kReservedCriticalPath;
+          pc.backfill_depth = 8;
+          pc.residency_aware = true;
+          request.disk_latency = 0.5;
+          request.disk_bandwidth = 64.0;
+        }
+      }
       request.parallel = pc;
-      if (k % 8 == 0) request.page_size = 16;  // exercise the paged replay
     }
     requests.push_back(request);
   }
@@ -101,8 +111,8 @@ int main(int argc, char** argv) {
       csv.reset(new util::CsvWriter(
           args.get("out", ""),
           {"id", "served", "ok", "nodes", "lb", "memory", "strategy", "io_volume",
-           "peak_resident", "workers", "makespan", "parallel_io", "page_size",
-           "pages_written", "pages_read", "seconds"}));
+           "peak_resident", "workers", "makespan", "parallel_io", "failed_starts",
+           "page_size", "pages_written", "pages_read", "read_stall", "seconds"}));
 
     const bool quiet = args.has("quiet");
     const std::size_t total = requests.size();
@@ -125,8 +135,9 @@ int main(int argc, char** argv) {
             std::printf(" workers=%d makespan=%.0f par_io=%lld", stats.workers, stats.makespan,
                         (long long)stats.parallel_io);
             if (stats.page_size > 0)
-              std::printf(" page=%lld pw=%lld pr=%lld", (long long)stats.page_size,
-                          (long long)stats.pages_written, (long long)stats.pages_read);
+              std::printf(" page=%lld pw=%lld pr=%lld stall=%.0f", (long long)stats.page_size,
+                          (long long)stats.pages_written, (long long)stats.pages_read,
+                          stats.read_stall);
           }
           std::printf(" (%.2f ms)\n", response.seconds * 1e3);
         } else {
@@ -137,8 +148,9 @@ int main(int argc, char** argv) {
         csv->row({response.id, service::served_name(response.served), stats.ok ? 1 : 0,
                   static_cast<std::int64_t>(stats.nodes), stats.lb, stats.memory,
                   core::strategy_name(stats.strategy), stats.io_volume, stats.peak_resident,
-                  stats.workers, stats.makespan, stats.parallel_io, stats.page_size,
-                  stats.pages_written, stats.pages_read, response.seconds});
+                  stats.workers, stats.makespan, stats.parallel_io, stats.failed_starts,
+                  stats.page_size, stats.pages_written, stats.pages_read, stats.read_stall,
+                  response.seconds});
     }
     const double seconds = wall.seconds();
 

@@ -41,6 +41,10 @@ struct Prepared {
 
 Prepared prepare(const Tree& tree, const ParallelConfig& config, const Schedule& reference) {
   if (config.workers < 1) throw std::invalid_argument("simulate_parallel: need >= 1 worker");
+  if (config.backfill_depth < 0)
+    throw std::invalid_argument("simulate_parallel: backfill_depth must be >= 0");
+  if (!(config.reserve_penalty >= 0.0))  // negated: rejects NaN too
+    throw std::invalid_argument("simulate_parallel: reserve_penalty must be >= 0");
 
   Prepared p;
   p.ref = reference.empty() ? core::postorder_minmem(tree).schedule : reference;
@@ -61,6 +65,14 @@ Prepared prepare(const Tree& tree, const ParallelConfig& config, const Schedule&
     up[idx(v)] = deepest + task_cost(tree, v, config.cost);
     subtree[idx(v)] = work;
   }
+  // kReservedCriticalPath trades critical-path rank against the memory the
+  // task pins while running: a task reserving the whole bound loses
+  // reserve_penalty critical paths of priority, one reserving nothing loses
+  // none. At reserve_penalty = 0 the subtraction is exactly 0.0, so the key
+  // equals kCriticalPath's bit-for-bit (pinned by tests/test_schedulers.cpp).
+  double cp = 0.0;
+  for (const double u : up) cp = std::max(cp, u);
+  const double bound = static_cast<double>(std::max<Weight>(1, config.memory));
   for (std::size_t i = 0; i < tree.size(); ++i) {
     switch (config.priority) {
       case Priority::kSequentialOrder:
@@ -71,6 +83,11 @@ Prepared prepare(const Tree& tree, const ParallelConfig& config, const Schedule&
         break;
       case Priority::kHeaviestSubtree:
         p.priority_key[i] = subtree[i];
+        break;
+      case Priority::kReservedCriticalPath:
+        p.priority_key[i] =
+            up[i] - config.reserve_penalty * cp *
+                        (static_cast<double>(tree.wbar(static_cast<NodeId>(i))) / bound);
         break;
     }
   }
@@ -245,7 +262,9 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   // exactly once per real spill (the seed engine flushed victims and
   // charged io_volume even when the start then failed, making results
   // depend on how often backfill retried).
-  const auto try_start = [&](NodeId i) -> bool {
+  // The O(1) fit check on its own, shared by try_start and the
+  // residency-aware scan (which must test candidates without starting them).
+  const auto fits = [&](NodeId i) -> bool {
     if (running_frames + work_frames[idx(i)] > frames) {
 #if OOCTREE_AUDIT_ENABLED
       // Snapshot-free transactional check: this failure path runs before
@@ -260,6 +279,11 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
 #endif
       return false;
     }
+    return true;
+  };
+
+  const auto try_start = [&](NodeId i) -> bool {
+    if (!fits(i)) return false;
 
     Weight child_resident = 0;
     for (const NodeId c : tree.children(i)) child_resident += resident[idx(c)];
@@ -336,21 +360,90 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     return true;
   };
 
+  // Backfill contract: with backfill on, each free worker slot examines at
+  // most `depth` ready tasks (0 = the whole heap) before the round gives
+  // up; backfill off is exactly depth 1 (strict priority). Starts within a
+  // round only grow running_frames, so a task that failed the fit check
+  // cannot fit later in the same round — failures go to `deferred` and
+  // return to the heap only when a completion frees memory.
+  const int depth = base.backfill ? base.backfill_depth : 1;
+  const bool residency = base.residency_aware && config.disk.has_value();
   std::size_t completed = 0;
   std::vector<Ready> deferred;
+  std::vector<Ready> window;            // residency scan: fitting candidates
+  std::vector<std::int64_t> window_at;  // examined index of each window entry
   while (completed < tree.size()) {
-    // Start ready tasks in priority order. A failed try mutates nothing,
-    // and starts only shrink the memory slack (running_frames grows), so a
-    // single pass suffices: a task that failed cannot fit later in the
-    // same round.
     deferred.clear();
-    while (idle > 0 && !ready.empty()) {
-      const Ready r = ready.top();
-      ready.pop();
-      if (try_start(r.id)) continue;
-      ++result.failed_starts;
-      deferred.push_back(r);
-      if (!base.backfill) break;  // strict priority: do not skip ahead
+    if (!residency) {
+      // Start ready tasks in priority order: the first fitting task of the
+      // (depth-bounded) scan is the best-priority fitting one.
+      std::int64_t examined = 0;  // candidates looked at since the last start
+      while (idle > 0 && !ready.empty()) {
+        const Ready r = ready.top();
+        ready.pop();
+        ++examined;
+        if (try_start(r.id)) {
+          result.backfill_scans += examined - 1;
+          if (examined > 1) ++result.backfill_hits;
+          examined = 0;
+          continue;
+        }
+        ++result.failed_starts;
+        deferred.push_back(r);
+        if (depth > 0 && examined >= depth) break;
+      }
+      if (examined > 0) result.backfill_scans += examined - 1;
+    } else {
+      // Residency-aware slot scan: collect the fitting tasks of the backfill
+      // window and start the one with the fewest child pages to read back
+      // (ties: best priority, i.e. scan order). A fully resident candidate
+      // ends the scan — nothing can beat zero missing pages. Fitting tasks
+      // that lose the tie return to the heap without counting as failures;
+      // when reads cost nothing the rule never fires (missing pages are
+      // free), and the gate above keeps the free-read engines bit-identical.
+      while (idle > 0 && !ready.empty()) {
+        window.clear();
+        window_at.clear();
+        std::size_t best = 0;
+        Weight best_missing = -1;
+        std::int64_t examined = 0;
+        while (!ready.empty() && (depth == 0 || examined < depth)) {
+          const Ready r = ready.top();
+          ready.pop();
+          ++examined;
+          if (!fits(r.id)) {
+            ++result.failed_starts;
+            deferred.push_back(r);
+            continue;
+          }
+          Weight missing = 0;
+          for (const NodeId c : tree.children(r.id)) {
+            missing += total_pages[idx(c)] - resident[idx(c)];
+#if OOCTREE_AUDIT_ENABLED
+            // A live output with resident pages is exactly an EvictionIndex
+            // entry — the residency signal and the victim index must agree.
+            core::audit_check(index.contains(c) == (resident[idx(c)] > 0),
+                              "simulate_parallel_paged: residency scan out of sync with "
+                              "the eviction index");
+#endif
+          }
+          if (best_missing < 0 || missing < best_missing) {
+            best_missing = missing;
+            best = window.size();
+          }
+          window.push_back(r);
+          window_at.push_back(examined);
+          if (best_missing == 0) break;
+        }
+        if (examined > 0) result.backfill_scans += examined - 1;
+        if (window.empty()) break;  // nothing in the window fits: round over
+        for (std::size_t k = 0; k < window.size(); ++k)
+          if (k != best) ready.push(window[k]);
+        if (!try_start(window[best].id))
+          throw std::logic_error(
+              "simulate_parallel_paged: residency start failed after a passing fit check");
+        if (window_at[best] != 1) ++result.backfill_hits;
+      }
     }
     for (const Ready& r : deferred) ready.push(r);
 
@@ -545,20 +638,30 @@ ParallelResult simulate_parallel_reference(const Tree& tree, const ParallelConfi
     return true;
   };
 
+  // Same backfill contract as the indexed engine: at most `depth` ready
+  // tasks examined per slot (0 = all, backfill off = 1), with identical
+  // scan/hit accounting — the differential suites compare these fields too.
+  const int depth = config.backfill ? config.backfill_depth : 1;
   std::size_t completed = 0;
   while (completed < tree.size()) {
     // Start ready tasks best-priority first. Starts only grow the running
     // reservations, so a task that failed cannot succeed later in the same
     // round — one pass over the sorted ready list is exhaustive.
+    std::int64_t examined = 0;  // candidates looked at since the last start
     for (std::size_t k = 0; idle > 0 && k < ready.size();) {
+      ++examined;
       if (try_start(ready[k])) {
         ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
+        result.backfill_scans += examined - 1;
+        if (examined > 1) ++result.backfill_hits;
+        examined = 0;
         continue;
       }
       ++result.failed_starts;
-      if (!config.backfill) break;  // strict priority: do not skip ahead
+      if (depth > 0 && examined >= depth) break;
       ++k;
     }
+    if (examined > 0) result.backfill_scans += examined - 1;
 
     if (running.empty()) {
       // No task running and nothing startable: with all evictable data

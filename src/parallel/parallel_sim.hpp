@@ -79,6 +79,13 @@ enum class Priority {
   kSequentialOrder,  ///< follow a reference sequential schedule's order
   kCriticalPath,     ///< longest remaining path to the root first
   kHeaviestSubtree,  ///< largest remaining subtree work first
+  /// Bottom-level critical path minus a penalty for the memory the task
+  /// would pin while running: key(i) = up(i) - reserve_penalty * cp *
+  /// (wbar(i) / M), where up(i) is the kCriticalPath key and cp its
+  /// maximum. Deep-but-heavy tasks no longer monopolize the bound; wide
+  /// cheap subtrees interleave with them instead of serializing behind
+  /// them. With reserve_penalty = 0 this is exactly kCriticalPath.
+  kReservedCriticalPath,
 };
 
 /// Simulation knobs.
@@ -92,6 +99,23 @@ struct ParallelConfig {
   /// start instead (backfilling). Without it the pool idles until memory
   /// frees up.
   bool backfill = true;
+  /// Bounded backfill look-ahead: with backfill on, at most this many ready
+  /// tasks are examined per free worker slot before the round gives up
+  /// (the fit check is O(1), so a failed look costs nothing). 0 = scan the
+  /// whole ready heap (the historical backfill behaviour); 1 = strict
+  /// priority, equivalent to backfill = false. Starts within one round only
+  /// shrink the memory slack, so a bounded scan never misses a task that a
+  /// later scan of the same round could have started.
+  int backfill_depth = 0;
+  /// Penalty strength for Priority::kReservedCriticalPath (>= 0). 0 makes
+  /// the rank collapse to kCriticalPath bit-identically.
+  double reserve_penalty = 1.0;
+  /// Residency-aware starts (paged engine with a DiskModel only): among the
+  /// fitting tasks of a slot's backfill window, start the one whose child
+  /// pages are most resident (fewest pages to read back), ties broken by
+  /// priority. Turns the read-stall charge into schedule input. Inert — the
+  /// engines stay bit-identical with it on or off — when reads are free.
+  bool residency_aware = false;
   /// Which live output loses units when a start needs room. kBelady evicts
   /// the output whose parent runs furthest in the *reference* order — the
   /// rule the paper proves optimal for a fixed sequential schedule.
@@ -111,6 +135,12 @@ struct ParallelResult {
   core::Weight peak_resident = 0;    ///< never exceeds memory when feasible
   double busy_time = 0.0;            ///< sum of task durations
   std::int64_t failed_starts = 0;    ///< tries rejected for lack of memory
+  /// Backfill accounting: `backfill_scans` counts ready tasks examined
+  /// beyond the first of each slot scan; `backfill_hits` counts starts that
+  /// were not the best-priority candidate of their scan. Both are 0 at
+  /// backfill_depth = 1 (strict priority never looks past the head).
+  std::int64_t backfill_scans = 0;
+  std::int64_t backfill_hits = 0;
 
   /// Worker utilization in [0, 1].
   [[nodiscard]] double utilization(int workers) const {

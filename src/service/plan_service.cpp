@@ -78,6 +78,13 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
   if (request.page_size > 0 && !request.parallel.has_value())
     return respond(error_stats("page_size requires a parallel replay config (workers)"),
                    Served::kComputed);
+  if (request.disk_latency < 0 || request.disk_bandwidth < 0)
+    return respond(error_stats("disk_latency / disk_bandwidth must be >= 0"), Served::kComputed);
+  if (request.disk_latency > 0 && request.disk_bandwidth == 0)
+    return respond(error_stats("disk_latency requires disk_bandwidth > 0"), Served::kComputed);
+  if (request.disk_bandwidth > 0 && request.page_size == 0)
+    return respond(error_stats("a disk model requires a paged replay (page_size > 0)"),
+                   Served::kComputed);
 
   // Layer 1: spec fingerprint — value-determined requests skip the tree.
   const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seed);
@@ -186,6 +193,8 @@ std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request
       paged.base.memory = memory;
       if (paged.base.seed == 0) paged.base.seed = seed;
       paged.page_size = std::max<core::Weight>(1, request.page_size);
+      if (request.disk_bandwidth > 0)
+        paged.disk = iosim::DiskModel{request.disk_latency, request.disk_bandwidth};
       const parallel::PagedParallelResult replay =
           parallel::simulate_parallel_paged(tree, paged, stats->schedule);
       stats->replayed = true;
@@ -194,10 +203,12 @@ std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request
       stats->makespan = replay.base.makespan;
       stats->parallel_io = replay.base.io_volume;
       stats->utilization = replay.base.utilization(paged.base.workers);
+      stats->failed_starts = replay.base.failed_starts;
       if (request.page_size > 0) {
         stats->page_size = request.page_size;
         stats->pages_written = replay.pages_written;
         stats->pages_read = replay.pages_read;
+        stats->read_stall = replay.read_stall;
       }
     }
     stats->ok = true;

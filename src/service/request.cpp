@@ -33,11 +33,13 @@ std::uint64_t mix_double(std::uint64_t h, double v) {
 /// influence the result, and keeping it out lets requests that differ only
 /// in their derived stream share one cache entry.
 std::uint64_t mix_replay(std::uint64_t h, const PlanRequest& request, std::uint64_t seed) {
-  // Mixed unconditionally: requests differing only in page_size must never
-  // share a key, even invalid ones (page_size without a replay config) —
-  // those are rejected before the cache is consulted, but the keyspace
-  // stays honest regardless.
+  // Mixed unconditionally: requests differing only in page_size or the disk
+  // model must never share a key, even invalid ones (page_size without a
+  // replay config) — those are rejected before the cache is consulted, but
+  // the keyspace stays honest regardless.
   h = mix_i64(h, request.page_size);
+  h = mix_double(h, request.disk_latency);
+  h = mix_double(h, request.disk_bandwidth);
   if (!request.parallel.has_value()) return mix(h, 0x70ULL);
   const parallel::ParallelConfig& pc = *request.parallel;
   h = mix(h, 0x71ULL);
@@ -45,6 +47,12 @@ std::uint64_t mix_replay(std::uint64_t h, const PlanRequest& request, std::uint6
   h = mix(h, static_cast<std::uint64_t>(pc.cost));
   h = mix(h, static_cast<std::uint64_t>(pc.priority));
   h = mix(h, pc.backfill ? 1ULL : 0ULL);
+  h = mix_i64(h, pc.backfill_depth);
+  h = mix(h, pc.residency_aware ? 1ULL : 0ULL);
+  // Like the replay seed below, reserve_penalty only enters the key when it
+  // can influence the result: every other priority ignores it.
+  if (pc.priority == parallel::Priority::kReservedCriticalPath)
+    h = mix_double(h, pc.reserve_penalty);
   h = mix(h, static_cast<std::uint64_t>(pc.evict));
   if (pc.evict == core::EvictionPolicy::kRandom)
     h = mix(h, pc.seed == 0 ? seed : pc.seed);
@@ -78,6 +86,7 @@ std::string priority_name(parallel::Priority p) {
     case parallel::Priority::kSequentialOrder: return "sequential-order";
     case parallel::Priority::kCriticalPath: return "critical-path";
     case parallel::Priority::kHeaviestSubtree: return "heaviest-subtree";
+    case parallel::Priority::kReservedCriticalPath: return "reserved-critical-path";
   }
   throw std::invalid_argument("priority_name: unknown priority");
 }
@@ -87,8 +96,11 @@ parallel::Priority priority_from_name(const std::string& name) {
   if (s == "sequential-order" || s == "sequential") return parallel::Priority::kSequentialOrder;
   if (s == "critical-path" || s == "critical") return parallel::Priority::kCriticalPath;
   if (s == "heaviest-subtree" || s == "heaviest") return parallel::Priority::kHeaviestSubtree;
-  throw std::invalid_argument("unknown priority '" + name +
-                              "' (sequential-order | critical-path | heaviest-subtree)");
+  if (s == "reserved-critical-path" || s == "reserved")
+    return parallel::Priority::kReservedCriticalPath;
+  throw std::invalid_argument(
+      "unknown priority '" + name +
+      "' (sequential-order | critical-path | heaviest-subtree | reserved-critical-path)");
 }
 
 std::string cost_model_name(parallel::CostModel c) {
@@ -125,8 +137,9 @@ bool identical(const PlanStats& a, const PlanStats& b) {
          a.evictions == b.evictions && a.replayed == b.replayed &&
          a.replay_feasible == b.replay_feasible && a.workers == b.workers &&
          a.makespan == b.makespan && a.parallel_io == b.parallel_io &&
-         a.utilization == b.utilization && a.page_size == b.page_size &&
-         a.pages_written == b.pages_written && a.pages_read == b.pages_read;
+         a.utilization == b.utilization && a.failed_starts == b.failed_starts &&
+         a.page_size == b.page_size && a.pages_written == b.pages_written &&
+         a.pages_read == b.pages_read && a.read_stall == b.read_stall;
 }
 
 std::uint64_t effective_seed(const PlanRequest& request, std::uint64_t service_seed) {

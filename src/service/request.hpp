@@ -82,6 +82,13 @@ struct PlanRequest {
   /// paged engine (simulate_parallel_paged) with frames = memory /
   /// page_size and page-I/O stats in the response. Requires `parallel`.
   core::Weight page_size = 0;
+
+  /// Disk-cost model of the paged replay: disk_bandwidth > 0 charges
+  /// iosim::DiskModel{disk_latency, disk_bandwidth} read stalls against the
+  /// makespan (and makes `parallel->residency_aware` meaningful). Requires
+  /// page_size > 0; disk_latency alone (without a bandwidth) is an error.
+  double disk_latency = 0.0;
+  double disk_bandwidth = 0.0;
 };
 
 /// The deterministic payload of an answer. Immutable once built; duplicate
@@ -112,13 +119,16 @@ struct PlanStats {
   double makespan = 0.0;
   core::Weight parallel_io = 0;
   double utilization = 0.0;
+  std::int64_t failed_starts = 0;  ///< starts rejected for lack of memory
 
   // Paged replay (only when the request set page_size > 0): page-granular
   // I/O accounting from simulate_parallel_paged; parallel_io then equals
-  // pages_written * page_size.
+  // pages_written * page_size. read_stall is nonzero only under a disk
+  // model (disk_bandwidth > 0): worker time spent waiting on read-backs.
   core::Weight page_size = 0;
   std::int64_t pages_written = 0;
   std::int64_t pages_read = 0;
+  double read_stall = 0.0;
 };
 
 /// Field-by-field equality of the deterministic payload — the differential

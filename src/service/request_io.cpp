@@ -178,8 +178,8 @@ class JsonScanner {
   throw std::runtime_error(
       "unknown request field '" + key +
       "' (id, source, nodes, w_lo, w_hi, seed, parent, weight, path, model, memory, "
-      "memory_lb, strategy, workers, priority, evict, cost, backfill, evict_seed, "
-      "page_size)");
+      "memory_lb, strategy, workers, priority, evict, cost, backfill, backfill_depth, "
+      "reserve_penalty, residency, evict_seed, page_size, disk_latency, disk_bandwidth)");
 }
 
 /// Tracks which fields were given so source inference and replay gating
@@ -189,11 +189,14 @@ struct DecodeState {
   bool has_source = false;
   bool has_id = false;
   int workers = 0;
-  bool has_replay_field = false;  ///< any of priority/evict/cost/backfill/evict_seed
+  bool has_replay_field = false;  ///< any replay knob short of workers itself
   parallel::Priority priority = parallel::Priority::kSequentialOrder;
   core::EvictionPolicy evict = core::EvictionPolicy::kBelady;
   parallel::CostModel cost = parallel::CostModel::kWbar;
   bool backfill = true;
+  int backfill_depth = 0;
+  double reserve_penalty = 1.0;
+  bool residency = false;
   std::uint64_t evict_seed = 0;
 };
 
@@ -263,6 +266,23 @@ void assign_number(DecodeState& state, const std::string& key, std::int64_t inte
     const std::int64_t v = require_int();
     if (v < 0) throw std::runtime_error("'workers' must be >= 0");
     state.workers = static_cast<int>(v);
+  } else if (key == "backfill_depth") {
+    const std::int64_t v = require_int();
+    if (v < 0) throw std::runtime_error("'backfill_depth' must be >= 0");
+    state.backfill_depth = static_cast<int>(v);
+    state.has_replay_field = true;
+  } else if (key == "reserve_penalty") {
+    if (number < 0) throw std::runtime_error("'reserve_penalty' must be >= 0");
+    state.reserve_penalty = number;
+    state.has_replay_field = true;
+  } else if (key == "disk_latency") {
+    if (number < 0) throw std::runtime_error("'disk_latency' must be >= 0");
+    state.request.disk_latency = number;
+    state.has_replay_field = true;
+  } else if (key == "disk_bandwidth") {
+    if (number < 0) throw std::runtime_error("'disk_bandwidth' must be >= 0");
+    state.request.disk_bandwidth = number;
+    state.has_replay_field = true;
   } else if (key == "evict_seed") {
     state.evict_seed = static_cast<std::uint64_t>(require_int());
     state.has_replay_field = true;
@@ -304,13 +324,17 @@ PlanRequest finish(DecodeState&& state, std::int64_t fallback_id) {
     pc.evict = state.evict;
     pc.cost = state.cost;
     pc.backfill = state.backfill;
+    pc.backfill_depth = state.backfill_depth;
+    pc.reserve_penalty = state.reserve_penalty;
+    pc.residency_aware = state.residency;
     pc.seed = state.evict_seed;  // 0 = derive from the request stream
     request.parallel = pc;
   } else if (state.has_replay_field) {
     // Silently dropping the replay block would report sequential-only
     // stats for a request that asked for a parallel evaluation.
     throw std::runtime_error(
-        "replay fields (priority/evict/cost/backfill/evict_seed/page_size) require "
+        "replay fields (priority/evict/cost/backfill/backfill_depth/reserve_penalty/"
+        "residency/evict_seed/page_size/disk_latency/disk_bandwidth) require "
         "'workers' > 0");
   }
   return std::move(request);
@@ -350,7 +374,8 @@ std::vector<std::string> split_csv_row(const std::string& line) {
 bool csv_key_is_numeric(const std::string& key) {
   return key == "id" || key == "nodes" || key == "w_lo" || key == "w_hi" || key == "seed" ||
          key == "memory" || key == "memory_lb" || key == "workers" || key == "evict_seed" ||
-         key == "page_size";
+         key == "page_size" || key == "backfill_depth" || key == "reserve_penalty" ||
+         key == "disk_latency" || key == "disk_bandwidth";
 }
 
 }  // namespace
@@ -369,6 +394,9 @@ PlanRequest request_from_json(const std::string& line, std::int64_t fallback_id)
       case JsonValue::Kind::kBool:
         if (key == "backfill") {
           state.backfill = value.boolean;
+          state.has_replay_field = true;
+        } else if (key == "residency") {
+          state.residency = value.boolean;
           state.has_replay_field = true;
         } else {
           throw std::runtime_error("field '" + key + "' cannot be a boolean");
@@ -418,7 +446,7 @@ std::vector<PlanRequest> read_requests_csv(std::istream& in) {
         // Validate the header eagerly so a typo fails before row 1.
         if (!csv_key_is_numeric(key) && key != "source" && key != "path" && key != "model" &&
             key != "strategy" && key != "priority" && key != "evict" && key != "cost" &&
-            key != "backfill")
+            key != "backfill" && key != "residency")
           unknown_key(key);
       }
       continue;
@@ -436,6 +464,9 @@ std::vector<PlanRequest> read_requests_csv(std::istream& in) {
         if (cell.empty()) continue;  // keep the field's default
         if (key == "backfill") {
           state.backfill = bool_from_cell(key, cell);
+          state.has_replay_field = true;
+        } else if (key == "residency") {
+          state.residency = bool_from_cell(key, cell);
           state.has_replay_field = true;
         } else if (csv_key_is_numeric(key)) {
           std::size_t consumed = 0;
