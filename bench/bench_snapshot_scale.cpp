@@ -1,0 +1,225 @@
+// Snapshot-scale benchmark: loading a million-node tree from a text file
+// vs from an mmap'd .otree snapshot.
+//
+// One SYNTH instance (uniform binary, weights 1..100) is written both as
+// the line-oriented text format (core/tree_io) and as a binary .otree
+// snapshot (core/snapshot), then loaded back through each path under a
+// wall-clock timer and a VmRSS meter. The snapshot path maps the arena
+// read-only and does no parsing, so the expected gap is large; the
+// committed baseline (BENCH_snapshot.json at the repository root) pins it.
+//
+// A differential pass then proves the mapped tree is not just fast but
+// *the same tree*: canonical hashes must match, and plans computed on the
+// mapped tree must be bit-identical to plans on the from_parents twin —
+// every strategy crossed with both memory models on a mid-size instance,
+// plus POSTORDERMINIO on the full-size instance.
+//
+// Acceptance:
+//   * load speedup — text parse time / snapshot load time >= 20 at the
+//     default and paper scales (the quick CI scale records the ratio but
+//     does not enforce it: 20k-node timings are noise-dominated).
+//   * differential — mapped plans identical to owned plans (exit 1).
+//
+// Scales: --scale quick (CI smoke, 20k nodes) | default (10^6) | paper
+// (2*10^6).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "experiment.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/core/strategies.hpp"
+#include "src/core/tree_io.hpp"
+#include "src/treegen/random_binary.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+using namespace ooctree;
+
+/// Current resident set in KiB from /proc/self/status; 0 where absent
+/// (non-Linux). Good enough for before/after deltas on one load.
+long vm_rss_kib() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmRSS:") {
+      long kib = 0;
+      status >> kib;
+      return kib;
+    }
+    status.ignore(256, '\n');
+  }
+#endif
+  return 0;
+}
+
+/// Walks every array of the tree so mapped pages are actually faulted in —
+/// without this the snapshot RSS number would only count the header page.
+std::uint64_t touch_all(const core::Tree& tree) {
+  std::uint64_t acc = tree.canonical_hash();
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<core::NodeId>(i);
+    acc ^= static_cast<std::uint64_t>(tree.wbar(id) + tree.child_weight_sum(id));
+    acc += tree.num_children(id);
+  }
+  return acc;
+}
+
+bool plans_identical(const core::Tree& owned, const core::Tree& mapped, core::Strategy strategy,
+                     core::Weight memory) {
+  const core::StrategyOutcome a = core::run_strategy(strategy, owned, memory);
+  const core::StrategyOutcome b = core::run_strategy(strategy, mapped, memory);
+  return a.schedule == b.schedule && a.evaluation.io == b.evaluation.io &&
+         a.evaluation.io_volume == b.evaluation.io_volume &&
+         a.evaluation.peak_resident == b.evaluation.peak_resident &&
+         a.evaluation.evictions == b.evaluation.evictions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  std::size_t nodes = 0;
+  const char* scale_name = "default";
+  bool enforce_speedup = true;
+  switch (scale) {
+    case bench::Scale::kQuick:
+      nodes = 20'000;
+      scale_name = "quick";
+      enforce_speedup = false;  // too small for a stable ratio
+      break;
+    case bench::Scale::kDefault:
+      nodes = 1'000'000;
+      break;
+    case bench::Scale::kPaper:
+      nodes = 2'000'000;
+      scale_name = "paper";
+      break;
+  }
+  const std::size_t cores = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::printf("== snapshot scale: text parse vs mmap'd .otree ==\n");
+  std::printf("scale=%s  n=%zu  cores=%zu\n\n", scale_name, nodes, cores);
+
+  util::Rng rng(20170208);
+  util::Stopwatch gen_watch;
+  const core::Tree original = treegen::synth_instance(nodes, 1, 100, rng);
+  const double gen_seconds = gen_watch.seconds();
+
+  const std::string text_path = "bench_snapshot_scale.tree";
+  const std::string snap_path = "bench_snapshot_scale.otree";
+  core::save_tree(text_path, original);
+  core::save_snapshot(snap_path, original);
+  const auto file_size = [](const std::string& path) -> long long {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in ? static_cast<long long>(in.tellg()) : 0;
+  };
+  const long long text_bytes = file_size(text_path);
+  const long long snap_bytes = file_size(snap_path);
+  std::printf("generated in %.3f s;  text %lld bytes, snapshot %lld bytes\n", gen_seconds,
+              text_bytes, snap_bytes);
+
+  // Text parse path.
+  const long rss_before_text = vm_rss_kib();
+  util::Stopwatch text_watch;
+  const core::Tree parsed = core::load_tree(text_path);
+  const double text_seconds = text_watch.seconds();
+  const long text_rss_kib = vm_rss_kib() - rss_before_text;
+
+  // Snapshot path: the load itself (open + mmap + header checks), then a
+  // full touch so the resident-set number reflects actually using the tree.
+  const long rss_before_snap = vm_rss_kib();
+  util::Stopwatch snap_watch;
+  const core::Tree mapped = core::load_snapshot(snap_path);
+  const double snap_seconds = snap_watch.seconds();
+  const std::uint64_t touched = touch_all(mapped);
+  const long snap_rss_kib = vm_rss_kib() - rss_before_snap;
+
+  const double speedup = snap_seconds > 0 ? text_seconds / snap_seconds : 0.0;
+  std::printf("text parse     %9.3f ms   (+%ld KiB RSS)\n", text_seconds * 1e3, text_rss_kib);
+  std::printf("snapshot load  %9.3f ms   (+%ld KiB RSS after touching all arrays)\n",
+              snap_seconds * 1e3, snap_rss_kib);
+  std::printf("speedup        %9.1fx\n\n", speedup);
+
+  // Differential: same tree, same plans.
+  bool differential_ok = true;
+  if (parsed.canonical_hash() != original.canonical_hash() ||
+      mapped.canonical_hash() != original.canonical_hash() || touched == 0) {
+    std::printf("HASH MISMATCH between original, parsed and mapped trees\n");
+    differential_ok = false;
+  }
+
+  std::printf("differential: mapped vs owned plans ... ");
+  std::fflush(stdout);
+  {
+    // Full strategy x model cross on a mid-size twin (FULLRECEXPAND on the
+    // million-node instance would dominate the bench for no extra signal).
+    util::Rng diff_rng(424242);
+    const core::Tree mid = treegen::synth_instance(3000, 1, 100, diff_rng);
+    const std::string mid_snap = "bench_snapshot_scale_mid.otree";
+    core::save_snapshot(mid_snap, mid);
+    for (const core::MemoryModel model :
+         {core::MemoryModel::kMaxInOut, core::MemoryModel::kSumInOut}) {
+      const core::Tree owned = mid.with_memory_model(model);
+      core::save_snapshot(mid_snap, owned);
+      const core::Tree remapped = core::load_snapshot(mid_snap);
+      const core::Weight memory = owned.min_feasible_memory() * 3 / 2;
+      for (const core::Strategy strategy : core::all_strategies())
+        if (!plans_identical(owned, remapped, strategy, memory)) {
+          std::printf("MISMATCH: %s, model %d\n", core::strategy_name(strategy).c_str(),
+                      static_cast<int>(model));
+          differential_ok = false;
+        }
+    }
+    // And the cheap strategy at full size: the mapped million-node tree
+    // must schedule exactly like its parsed twin.
+    const core::Weight big_memory = original.min_feasible_memory() * 3 / 2;
+    if (!plans_identical(parsed, mapped, core::Strategy::kPostOrderMinIo, big_memory)) {
+      std::printf("MISMATCH: POSTORDERMINIO at n=%zu\n", nodes);
+      differential_ok = false;
+    }
+  }
+  std::printf("%s\n", differential_ok ? "identical" : "FAILED");
+
+  const bool speedup_pass = !enforce_speedup || speedup >= 20.0;
+
+  std::FILE* json = std::fopen("bench_snapshot_scale.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot write bench_snapshot_scale.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"snapshot_scale\",\n  \"scale\": \"%s\",\n", scale_name);
+  std::fprintf(json, "  \"dataset\": \"SYNTH (uniform binary, weights 1..100)\",\n");
+  std::fprintf(json, "  \"nodes\": %zu,\n  \"cores\": %zu,\n", nodes, cores);
+  std::fprintf(json, "  \"text_bytes\": %lld,\n  \"snapshot_bytes\": %lld,\n", text_bytes,
+               snap_bytes);
+  std::fprintf(json, "  \"text_parse_ms\": %.3f,\n  \"snapshot_load_ms\": %.4f,\n",
+               text_seconds * 1e3, snap_seconds * 1e3);
+  std::fprintf(json, "  \"text_rss_kib\": %ld,\n  \"snapshot_rss_kib\": %ld,\n", text_rss_kib,
+               snap_rss_kib);
+  std::fprintf(json,
+               "  \"acceptance\": {\n"
+               "    \"load_speedup\": {\"speedup\": %.1f, \"threshold\": 20.0, "
+               "\"enforced\": %s, \"pass\": %s},\n"
+               "    \"differential\": {\"strategies\": 4, \"models\": 2, \"pass\": %s}\n"
+               "  }\n}\n",
+               speedup, enforce_speedup ? "true" : "false", speedup_pass ? "true" : "false",
+               differential_ok ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("\nacceptance:\n");
+  std::printf("  load speedup:  %.1fx (threshold 20x%s) — %s\n", speedup,
+              enforce_speedup ? "" : ", not enforced at quick scale",
+              speedup_pass ? "PASS" : "FAIL");
+  std::printf("  differential:  %s\n", differential_ok ? "PASS" : "FAIL");
+  std::printf("results written to bench_snapshot_scale.json\n");
+  std::printf("(to refresh the committed baseline: cp bench_snapshot_scale.json "
+              "<repo>/BENCH_snapshot.json)\n");
+  return (differential_ok && speedup_pass) ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 
 #include "src/core/fif_simulator.hpp"
 #include "src/core/minmem_optimal.hpp"
+#include "src/core/snapshot.hpp"
 #include "src/core/strategies.hpp"
 #include "src/core/local_search.hpp"
 #include "src/core/tree_io.hpp"
@@ -42,12 +43,16 @@ using core::Weight;
 
 void usage(const char* prog) {
   std::printf(
-      "usage: %s (--tree FILE | --mtx FILE | --batch FILE | --demo) [options]\n"
+      "usage: %s (--tree FILE | --mtx FILE | --snapshot FILE | --batch FILE | --demo) "
+      "[options]\n"
       "  --tree FILE         task tree in the '<parent> <weight>' text format\n"
       "  --mtx FILE          symmetric Matrix Market file (multifrontal pipeline)\n"
+      "  --snapshot FILE     binary .otree snapshot, loaded by mmap (tools/tree_pack)\n"
       "  --batch FILE        JSONL/CSV request batch served through PlanService\n"
       "  --threads N         worker threads for --batch (default: hardware)\n"
+      "  --persist DIR       persistent canonical cache directory for --batch\n"
       "  --demo              use a built-in random 500-node tree\n"
+      "  --save-snapshot F   capture the loaded tree as a .otree snapshot for replay\n"
       "  --memory M          memory bound in units\n"
       "  --memory-fraction F bound = F * in-core peak (default 0.5)\n"
       "  --strategy S        postorder | optminmem | recexpand (default) | full\n"
@@ -86,6 +91,7 @@ int run_batch(const util::Args& args) {
   }
   service::ServiceConfig config;
   config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  config.persist_dir = args.get("persist", "");
   service::PlanService planner(config);
 
   const std::size_t total = requests.size();
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
     if (args.has("batch")) return run_batch(args);
     core::Tree tree = [&] {
       if (args.has("tree")) return core::load_tree(args.get("tree", ""));
+      if (args.has("snapshot")) return core::load_snapshot(args.get("snapshot", ""));
       if (args.has("mtx")) {
         const auto pattern = sparse::load_matrix_market(args.get("mtx", ""));
         return sparse::assembly_tree(
@@ -137,6 +144,12 @@ int main(int argc, char** argv) {
       usage(args.program().c_str());
       throw std::runtime_error("no input given");
     }();
+
+    if (args.has("save-snapshot")) {
+      const std::string path = args.get("save-snapshot", "");
+      core::save_snapshot(path, tree);
+      std::fprintf(stderr, "saved %zu-node snapshot to %s\n", tree.size(), path.c_str());
+    }
 
     const Weight lb = tree.min_feasible_memory();
     const Weight peak = core::opt_minmem_peak(tree, tree.root());

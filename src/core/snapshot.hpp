@@ -1,0 +1,75 @@
+// Versioned binary .otree snapshots of core::Tree — load is one mmap,
+// zero parsing.
+//
+// File layout (all integers little-endian on the writing machine; the
+// endianness tag rejects cross-endian files at load):
+//
+//   offset  size          field
+//   ------  ------------  --------------------------------------------
+//        0  8             magic "OOCTREE\0"
+//        8  4             format version (kSnapshotVersion)
+//       12  4             endianness tag 0x01020304, as written natively
+//       16  4             memory model (0 = max-in-out, 1 = sum-in-out)
+//       20  4             reserved (zero)
+//       24  8             node count n
+//       32  8             root node id
+//       40  8             max wbar
+//       48  8             total weight
+//       56  8             canonical tree hash (Tree::canonical_hash)
+//       64  8n            weight[n]
+//    64+8n  8n            child_sum[n]
+//   64+16n  8n            wbar[n]
+//   64+24n  8(n+1)        child_offset[n+1]   (CSR offsets)
+//   72+32n  4n            parent[n]
+//   72+36n  4(n-1)        child_list[n-1]     (CSR adjacency)
+//
+// total size 40n + 68 bytes, checked exactly at load. The body mirrors the
+// OwnedStorage arena layout (core/tree_storage.hpp), so load_snapshot just
+// binds a MappedStorage's pointers at these offsets: the derived arrays
+// (CSR, child sums, wbar) and aggregates are stored, not recomputed, which
+// is what makes the load genuinely O(1) before first access.
+//
+// Corrupt or foreign files — truncated, bad magic, unknown version, other
+// endianness, node count inconsistent with the file size, or structurally
+// impossible header fields — throw std::runtime_error naming the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+/// Bumped whenever the .otree layout changes; loaders reject other versions.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Header fields of a snapshot, as read by probe_snapshot.
+struct SnapshotInfo {
+  std::uint64_t nodes = 0;
+  MemoryModel model = MemoryModel::kMaxInOut;
+  NodeId root = kNoNode;
+  Weight max_wbar = 0;
+  Weight total_weight = 0;
+  std::uint64_t tree_hash = 0;  ///< Tree::canonical_hash of the stored tree
+};
+
+/// Writes `tree` to `path` as a .otree snapshot. Atomic: writes to a
+/// temporary sibling file and renames over `path`, so readers never see a
+/// half-written snapshot. Throws std::runtime_error (naming the file) on
+/// I/O failure.
+void save_snapshot(const std::string& path, const Tree& tree);
+
+/// Maps `path` read-only and returns a Tree backed by the mapping (zero
+/// copies, zero parsing; O(1) header validation only). The returned Tree
+/// behaves identically to a from_parents-built one; the first mutation via
+/// TreeBuilder copies it into an owned arena. Throws std::runtime_error
+/// (naming the file) on any corruption or format mismatch.
+Tree load_snapshot(const std::string& path);
+
+/// Validates the header of `path` (including the exact file-size check)
+/// without binding a Tree, and returns its fields. Same error behavior as
+/// load_snapshot.
+SnapshotInfo probe_snapshot(const std::string& path);
+
+}  // namespace ooctree::core

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/core/tree_storage.hpp"
 #include "src/util/rng.hpp"
 
 namespace ooctree::core {
@@ -17,33 +18,38 @@ Tree Tree::from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
   const auto ni = static_cast<NodeId>(n);
 
   Tree t;
-  t.parent_ = std::move(parent);
-  t.weight_ = std::move(weight);
   t.model_ = model;
-
   t.root_ = kNoNode;
   for (NodeId i = 0; i < ni; ++i) {
-    const NodeId p = t.parent_[idx(i)];
+    const NodeId p = parent[idx(i)];
     if (p == kNoNode) {
       if (t.root_ != kNoNode) throw std::invalid_argument("Tree: multiple roots");
       t.root_ = i;
     } else if (p < 0 || p >= ni || p == i) {
       throw std::invalid_argument("Tree: invalid parent index");
     }
-    if (t.weight_[idx(i)] < 0) throw std::invalid_argument("Tree: negative weight");
+    if (weight[idx(i)] < 0) throw std::invalid_argument("Tree: negative weight");
   }
   if (t.root_ == kNoNode) throw std::invalid_argument("Tree: no root");
 
+  // Arena allocated in one shot, sized exactly to the tree.
+  t.storage_ = std::make_shared<OwnedStorage>(n);
+  t.arrays_ = t.storage_->arrays();
+  t.size_ = n;
+  TreeArrays& a = t.arrays_;
+  std::copy(parent.begin(), parent.end(), a.parent);
+  std::copy(weight.begin(), weight.end(), a.weight);
+
   // Children CSR (counting sort keeps children ordered by increasing id).
-  t.child_offset_.assign(n + 1, 0);
+  std::fill_n(a.child_offset, n + 1, std::int64_t{0});
   for (NodeId i = 0; i < ni; ++i)
-    if (t.parent_[idx(i)] != kNoNode) ++t.child_offset_[idx(t.parent_[idx(i)]) + 1];
-  for (std::size_t j = 0; j < n; ++j) t.child_offset_[j + 1] += t.child_offset_[j];
-  t.child_list_.assign(n - 1, kNoNode);
-  std::vector<std::int64_t> cursor(t.child_offset_.begin(), t.child_offset_.end() - 1);
+    if (a.parent[idx(i)] != kNoNode) ++a.child_offset[idx(a.parent[idx(i)]) + 1];
+  for (std::size_t j = 0; j < n; ++j) a.child_offset[j + 1] += a.child_offset[j];
+  std::fill_n(a.child_list, n - 1, kNoNode);
+  std::vector<std::int64_t> cursor(a.child_offset, a.child_offset + n);
   for (NodeId i = 0; i < ni; ++i) {
-    const NodeId p = t.parent_[idx(i)];
-    if (p != kNoNode) t.child_list_[static_cast<std::size_t>(cursor[idx(p)]++)] = i;
+    const NodeId p = a.parent[idx(i)];
+    if (p != kNoNode) a.child_list[static_cast<std::size_t>(cursor[idx(p)]++)] = i;
   }
 
   // Acyclicity: every node must reach the root; equivalently the postorder
@@ -51,19 +57,69 @@ Tree Tree::from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
   if (t.postorder(t.root_).size() != n)
     throw std::invalid_argument("Tree: parent array contains a cycle or disconnected part");
 
-  t.child_sum_.assign(n, 0);
-  t.wbar_.assign(n, 0);
   t.total_weight_ = 0;
   for (NodeId i = 0; i < ni; ++i) {
     Weight s = 0;
-    for (const NodeId c : t.children(i)) s += t.weight_[idx(c)];
-    t.child_sum_[idx(i)] = s;
-    t.wbar_[idx(i)] =
-        model == MemoryModel::kMaxInOut ? std::max(t.weight_[idx(i)], s) : t.weight_[idx(i)] + s;
-    t.max_wbar_ = std::max(t.max_wbar_, t.wbar_[idx(i)]);
-    t.total_weight_ += t.weight_[idx(i)];
+    for (const NodeId c : t.children(i)) s += a.weight[idx(c)];
+    a.child_sum[idx(i)] = s;
+    a.wbar[idx(i)] =
+        model == MemoryModel::kMaxInOut ? std::max(a.weight[idx(i)], s) : a.weight[idx(i)] + s;
+    t.max_wbar_ = std::max(t.max_wbar_, a.wbar[idx(i)]);
+    t.total_weight_ += a.weight[idx(i)];
   }
   return t;
+}
+
+Tree::Tree(Tree&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      arrays_(other.arrays_),
+      size_(other.size_),
+      root_(other.root_),
+      max_wbar_(other.max_wbar_),
+      total_weight_(other.total_weight_),
+      model_(other.model_) {
+  other.arrays_ = {};
+  other.size_ = 0;
+  other.root_ = kNoNode;
+  other.max_wbar_ = 0;
+  other.total_weight_ = 0;
+}
+
+Tree& Tree::operator=(Tree&& other) noexcept {
+  if (this != &other) {
+    storage_ = std::move(other.storage_);
+    arrays_ = other.arrays_;
+    size_ = other.size_;
+    root_ = other.root_;
+    max_wbar_ = other.max_wbar_;
+    total_weight_ = other.total_weight_;
+    model_ = other.model_;
+    other.arrays_ = {};
+    other.size_ = 0;
+    other.root_ = kNoNode;
+    other.max_wbar_ = 0;
+    other.total_weight_ = 0;
+  }
+  return *this;
+}
+
+bool Tree::is_mapped() const { return storage_ != nullptr && !storage_->writable(); }
+
+void Tree::ensure_owned(std::size_t min_capacity) {
+  if (storage_ == nullptr) {  // defensive: TreeBuilder never adopts an empty tree
+    storage_ = std::make_shared<OwnedStorage>(min_capacity);
+    arrays_ = storage_->arrays();
+    arrays_.child_offset[0] = 0;
+    return;
+  }
+  if (storage_->writable() && storage_.use_count() == 1 && storage_->capacity() >= min_capacity)
+    return;
+  // Clone (copy-on-write off shared or mapped storage) or grow; doubling
+  // keeps a run of expansion appends amortized O(1), exactly like the
+  // std::vector storage this replaced.
+  const std::size_t new_cap = std::max(min_capacity, 2 * storage_->capacity());
+  storage_ = std::make_shared<OwnedStorage>(arrays_, size_, new_cap);
+  arrays_ = storage_->arrays();
 }
 
 std::vector<NodeId> Tree::postorder(NodeId r) const {
@@ -90,7 +146,8 @@ std::vector<NodeId> Tree::postorder(NodeId r) const {
 std::size_t Tree::subtree_size(NodeId r) const { return postorder(r).size(); }
 
 Tree Tree::with_memory_model(MemoryModel model) const {
-  return from_parents(parent_, weight_, model);
+  return from_parents(std::vector<NodeId>(arrays_.parent, arrays_.parent + size_),
+                      std::vector<Weight>(arrays_.weight, arrays_.weight + size_), model);
 }
 
 Tree Tree::subtree(NodeId r, std::vector<NodeId>* old_ids) const {
@@ -102,8 +159,8 @@ Tree Tree::subtree(NodeId r, std::vector<NodeId>* old_ids) const {
   std::vector<Weight> weight(order.size(), 0);
   for (std::size_t k = 0; k < order.size(); ++k) {
     const NodeId old = order[k];
-    weight[k] = weight_[idx(old)];
-    if (old != r) parent[k] = new_id[idx(parent_[idx(old)])];
+    weight[k] = arrays_.weight[idx(old)];
+    if (old != r) parent[k] = new_id[idx(arrays_.parent[idx(old)])];
   }
   if (old_ids != nullptr) *old_ids = order;
   return from_parents(std::move(parent), std::move(weight), model_);
@@ -116,14 +173,14 @@ std::size_t Tree::depth() const {
   const std::vector<NodeId> order = postorder();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId i = *it;
-    d[idx(i)] = (parent_[idx(i)] == kNoNode) ? 1 : d[idx(parent_[idx(i)])] + 1;
+    d[idx(i)] = (arrays_.parent[idx(i)] == kNoNode) ? 1 : d[idx(arrays_.parent[idx(i)])] + 1;
     best = std::max(best, d[idx(i)]);
   }
   return best;
 }
 
 bool Tree::is_homogeneous() const {
-  return std::all_of(weight_.begin(), weight_.end(), [](Weight w) { return w == 1; });
+  return std::all_of(arrays_.weight, arrays_.weight + size_, [](Weight w) { return w == 1; });
 }
 
 std::uint64_t Tree::canonical_hash() const {
@@ -133,8 +190,9 @@ std::uint64_t Tree::canonical_hash() const {
   std::uint64_t h = util::splitmix64(0x6f6f637472656531ULL ^ size());
   h = util::splitmix64(h ^ static_cast<std::uint64_t>(model_));
   for (std::size_t i = 0; i < size(); ++i) {
-    h = util::splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(parent_[i])));
-    h = util::splitmix64(h ^ static_cast<std::uint64_t>(weight_[i]));
+    h = util::splitmix64(h ^
+                         static_cast<std::uint64_t>(static_cast<std::int64_t>(arrays_.parent[i])));
+    h = util::splitmix64(h ^ static_cast<std::uint64_t>(arrays_.weight[i]));
   }
   return h;
 }
@@ -148,7 +206,7 @@ std::string Tree::to_string() const {
     const auto [node, level] = stack.back();
     stack.pop_back();
     for (int k = 0; k < level; ++k) os << "  ";
-    os << node << " (w=" << weight_[idx(node)] << ")\n";
+    os << node << " (w=" << arrays_.weight[idx(node)] << ")\n";
     const auto kids = children(node);
     for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.emplace_back(*it, level + 1);
   }

@@ -7,9 +7,18 @@
 // weights). Trees are immutable after construction; algorithms that rewrite
 // trees (node expansion, subtree extraction) build new Tree objects and
 // return index maps back to the original nodes.
+//
+// Storage: the six per-node arrays live in one contiguous arena behind a
+// TreeStorage backend (core/tree_storage.hpp) — OwnedStorage (heap arena,
+// one allocation) or MappedStorage (read-only mmap of a .otree snapshot,
+// core/snapshot.hpp). Copying a Tree shares the storage (O(1)); the only
+// mutation path, TreeBuilder, promotes shared or mapped storage to a
+// private writable arena first (copy-on-write), so the backend is
+// unobservable through this API.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -39,38 +48,61 @@ enum class MemoryModel : std::uint8_t {
   kSumInOut,  ///< wbar(i) = w_i + sum of children weights       [Liu 1987]
 };
 
+class TreeStorage;  // arena backend, core/tree_storage.hpp
+
+/// Pointer bundle into a storage arena (structure-of-arrays). The pointers
+/// alias the backend's arena and are valid exactly as long as the
+/// TreeStorage that handed them out. For a MappedStorage the memory is
+/// read-only; only TreeBuilder writes, and only after promoting the tree
+/// to a private OwnedStorage.
+struct TreeArrays {
+  NodeId* parent = nullptr;
+  Weight* weight = nullptr;
+  std::int64_t* child_offset = nullptr;  ///< nodes + 1 entries (CSR offsets)
+  NodeId* child_list = nullptr;          ///< nodes - 1 entries (CSR adjacency)
+  Weight* child_sum = nullptr;
+  Weight* wbar = nullptr;
+};
+
 /// Immutable rooted in-tree of weighted tasks.
 class Tree {
  public:
   /// Builds a tree from a parent array (parent[root] == kNoNode) and output
   /// data sizes. Throws std::invalid_argument when the arrays do not
   /// describe a single rooted tree, when a weight is negative, or when the
-  /// two arrays differ in length.
+  /// two arrays differ in length. The arena is allocated in one shot,
+  /// sized exactly to the tree.
   static Tree from_parents(std::vector<NodeId> parent, std::vector<Weight> weight,
                            MemoryModel model = MemoryModel::kMaxInOut);
 
-  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+  Tree(const Tree&) = default;             // shares the storage arena (O(1))
+  Tree& operator=(const Tree&) = default;  // shares the storage arena (O(1))
+  Tree(Tree&& other) noexcept;             // leaves `other` empty (size() == 0)
+  Tree& operator=(Tree&& other) noexcept;
+  ~Tree() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] NodeId root() const { return root_; }
 
-  [[nodiscard]] Weight weight(NodeId i) const { return weight_[idx(i)]; }
-  [[nodiscard]] NodeId parent(NodeId i) const { return parent_[idx(i)]; }
+  [[nodiscard]] Weight weight(NodeId i) const { return arrays_.weight[idx(i)]; }
+  [[nodiscard]] NodeId parent(NodeId i) const { return arrays_.parent[idx(i)]; }
 
   /// Children of i, ordered by increasing node id.
   [[nodiscard]] std::span<const NodeId> children(NodeId i) const {
-    const auto b = static_cast<std::size_t>(child_offset_[idx(i)]);
-    const auto e = static_cast<std::size_t>(child_offset_[idx(i) + 1]);
-    return {child_list_.data() + b, e - b};
+    const auto b = static_cast<std::size_t>(arrays_.child_offset[idx(i)]);
+    const auto e = static_cast<std::size_t>(arrays_.child_offset[idx(i) + 1]);
+    return {arrays_.child_list + b, e - b};
   }
 
   [[nodiscard]] bool is_leaf(NodeId i) const { return children(i).empty(); }
   [[nodiscard]] std::size_t num_children(NodeId i) const { return children(i).size(); }
 
   /// Sum of the children's output sizes (the input volume of node i).
-  [[nodiscard]] Weight child_weight_sum(NodeId i) const { return child_sum_[idx(i)]; }
+  [[nodiscard]] Weight child_weight_sum(NodeId i) const { return arrays_.child_sum[idx(i)]; }
 
   /// Transient memory needed to execute i in isolation; the formula
   /// depends on the tree's MemoryModel (see enum above).
-  [[nodiscard]] Weight wbar(NodeId i) const { return wbar_[idx(i)]; }
+  [[nodiscard]] Weight wbar(NodeId i) const { return arrays_.wbar[idx(i)]; }
 
   /// The memory model this tree was built with.
   [[nodiscard]] MemoryModel memory_model() const { return model_; }
@@ -84,6 +116,11 @@ class Tree {
 
   /// Total weight of all outputs (an upper bound on any resident set).
   [[nodiscard]] Weight total_weight() const { return total_weight_; }
+
+  /// True when this tree reads from a read-only mapped snapshot rather
+  /// than an owned heap arena (diagnostics; the backends behave
+  /// identically through this API).
+  [[nodiscard]] bool is_mapped() const;
 
   /// Nodes of the subtree rooted at r in depth-first postorder: every node
   /// appears after all of its descendants; r is last. Children are visited
@@ -110,11 +147,12 @@ class Tree {
   /// Canonical 64-bit hash of the tree: a splitmix-chained digest of the
   /// logical content (size, memory model, and every node's parent and
   /// weight), independent of how the Tree was materialized — from_parents,
-  /// TreeBuilder amendments, subtree extraction or a file round-trip all
-  /// hash equal for equal trees. Schedules and I/O functions refer to node
-  /// ids, so the hash deliberately distinguishes renumberings of isomorphic
-  /// trees: equal hash means cached plans apply verbatim. This is the
-  /// tree component of the planning-service cache key (src/service/).
+  /// TreeBuilder amendments, subtree extraction, a file round-trip or a
+  /// mapped snapshot all hash equal for equal trees. Schedules and I/O
+  /// functions refer to node ids, so the hash deliberately distinguishes
+  /// renumberings of isomorphic trees: equal hash means cached plans apply
+  /// verbatim. This is the tree component of the planning-service cache
+  /// key (src/service/).
   [[nodiscard]] std::uint64_t canonical_hash() const;
 
   /// Multi-line human-readable rendering (small trees; for debugging).
@@ -122,16 +160,21 @@ class Tree {
 
  private:
   friend class TreeBuilder;  // in-place structural amendments (tree_builder.hpp)
+  friend void save_snapshot(const std::string& path, const Tree& tree);  // core/snapshot.hpp
+  friend Tree load_snapshot(const std::string& path);                    // core/snapshot.hpp
 
   Tree() = default;
   static std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 
-  std::vector<NodeId> parent_;
-  std::vector<Weight> weight_;
-  std::vector<std::int64_t> child_offset_;  // CSR offsets, size n+1
-  std::vector<NodeId> child_list_;          // CSR adjacency, size n-1
-  std::vector<Weight> child_sum_;
-  std::vector<Weight> wbar_;
+  /// Guarantees a private, writable arena with room for at least
+  /// `min_capacity` nodes, cloning (copy-on-write) or growing (capacity
+  /// doubling, amortized O(1) appends) as needed, and refreshes the
+  /// mirrored array pointers. The TreeBuilder mutation gate.
+  void ensure_owned(std::size_t min_capacity);
+
+  std::shared_ptr<TreeStorage> storage_;
+  TreeArrays arrays_;  ///< mirror of storage_->arrays() for 1-hop access
+  std::size_t size_ = 0;
   NodeId root_ = kNoNode;
   Weight max_wbar_ = 0;
   Weight total_weight_ = 0;

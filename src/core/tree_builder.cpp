@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/core/tree_storage.hpp"
+
 namespace ooctree::core {
 
 namespace {
@@ -11,20 +13,26 @@ std::size_t idx(NodeId i) { return static_cast<std::size_t>(i); }
 
 std::pair<NodeId, NodeId> TreeBuilder::expand(NodeId i, Weight tau) {
   if (i < 0 || idx(i) >= t_.size()) throw std::invalid_argument("TreeBuilder::expand: bad node id");
-  const Weight w = t_.weight_[idx(i)];
+  const Weight w = t_.arrays_.weight[idx(i)];
   if (tau < 0 || tau > w) throw std::invalid_argument("TreeBuilder::expand: tau out of range");
 
   const auto n = t_.size();
+  // Private writable arena with room for the two appended nodes: promotes
+  // shared or mapped storage (copy-on-write) and grows by doubling, so a
+  // run of expansions stays amortized O(1) per append.
+  t_.ensure_owned(n + 2);
+  TreeArrays& a = t_.arrays_;
+
   const auto i2 = static_cast<NodeId>(n);
   const auto i3 = static_cast<NodeId>(n + 1);
-  const NodeId p = t_.parent_[idx(i)];
+  const NodeId p = a.parent[idx(i)];
 
   // Parent pointers: i -> i2 -> i3 -> p.
-  t_.parent_[idx(i)] = i2;
-  t_.parent_.push_back(i3);  // parent of i2
-  t_.parent_.push_back(p);   // parent of i3
-  t_.weight_.push_back(w - tau);
-  t_.weight_.push_back(w);
+  a.parent[idx(i)] = i2;
+  a.parent[idx(i2)] = i3;
+  a.parent[idx(i3)] = p;
+  a.weight[idx(i2)] = w - tau;
+  a.weight[idx(i3)] = w;
 
   // Children CSR. Inside p's span, i is replaced by i3; i3 carries the
   // largest id so it belongs at the span's end — shift the entries after i
@@ -35,18 +43,18 @@ std::pair<NodeId, NodeId> TreeBuilder::expand(NodeId i, Weight tau) {
   if (p == kNoNode) {
     t_.root_ = i3;
   } else {
-    const auto b = static_cast<std::size_t>(t_.child_offset_[idx(p)]);
-    const auto e = static_cast<std::size_t>(t_.child_offset_[idx(p) + 1]);
-    auto* const span = t_.child_list_.data();
+    const auto b = static_cast<std::size_t>(a.child_offset[idx(p)]);
+    const auto e = static_cast<std::size_t>(a.child_offset[idx(p) + 1]);
+    NodeId* const span = a.child_list;
     const auto it = std::find(span + b, span + e, i);
     std::copy(it + 1, span + e, it);
     span[e - 1] = i3;
   }
-  const auto edges = static_cast<std::int64_t>(t_.child_list_.size());
-  t_.child_list_.push_back(i);   // i2's only child
-  t_.child_list_.push_back(i2);  // i3's only child
-  t_.child_offset_.push_back(edges + 1);
-  t_.child_offset_.push_back(edges + 2);
+  const std::int64_t edges = a.child_offset[n];  // CSR invariant: n - 1 edges
+  a.child_list[static_cast<std::size_t>(edges)] = i;       // i2's only child
+  a.child_list[static_cast<std::size_t>(edges) + 1] = i2;  // i3's only child
+  a.child_offset[n + 1] = edges + 1;
+  a.child_offset[n + 2] = edges + 2;
 
   // Derived quantities. i keeps its children and weight, so wbar(i) is
   // unchanged; p swaps a child of weight w for another of weight w, so
@@ -54,12 +62,13 @@ std::pair<NodeId, NodeId> TreeBuilder::expand(NodeId i, Weight tau) {
   const auto bar = [&](Weight own, Weight children_sum) {
     return t_.model_ == MemoryModel::kMaxInOut ? std::max(own, children_sum) : own + children_sum;
   };
-  t_.child_sum_.push_back(w);        // i2's child is i (weight w)
-  t_.child_sum_.push_back(w - tau);  // i3's child is i2
-  t_.wbar_.push_back(bar(w - tau, w));
-  t_.wbar_.push_back(bar(w, w - tau));
-  t_.max_wbar_ = std::max({t_.max_wbar_, t_.wbar_[idx(i2)], t_.wbar_[idx(i3)]});
+  a.child_sum[idx(i2)] = w;        // i2's child is i (weight w)
+  a.child_sum[idx(i3)] = w - tau;  // i3's child is i2
+  a.wbar[idx(i2)] = bar(w - tau, w);
+  a.wbar[idx(i3)] = bar(w, w - tau);
+  t_.max_wbar_ = std::max({t_.max_wbar_, a.wbar[idx(i2)], a.wbar[idx(i3)]});
   t_.total_weight_ += (w - tau) + w;
+  t_.size_ = n + 2;
   return {i2, i3};
 }
 

@@ -32,6 +32,12 @@ Tree read_tree(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Normalize line endings and padding up front: CRLF files, trailing
+    // spaces/tabs, and a final line without a newline (getline already
+    // yields it) must all parse exactly like their clean counterparts.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
     if (line.rfind("#!model", 0) == 0) {
       if (line.find("sum") != std::string::npos) model = MemoryModel::kSumInOut;
       continue;
@@ -45,6 +51,10 @@ Tree read_tree(std::istream& in) {
     if (!(ls >> w)) {
       throw std::runtime_error("read_tree: missing weight on line " + std::to_string(line_no));
     }
+    std::string rest;
+    if (ls >> rest)
+      throw std::runtime_error("read_tree: trailing garbage '" + rest + "' on line " +
+                               std::to_string(line_no));
     parent.push_back(p);
     weight.push_back(w);
   }

@@ -1,0 +1,131 @@
+#include "src/core/tree_storage.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OOCTREE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define OOCTREE_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace ooctree::core {
+
+namespace {
+
+// Carves one arena block of `capacity` node slots into the six arrays.
+// 8-byte arrays first so every pointer is naturally aligned inside an
+// 8-aligned block; the layout is mirrored byte-for-byte by the .otree
+// snapshot body (core/snapshot.cpp), which lets MappedStorage bind the
+// same offsets straight into a mapped file.
+TreeArrays carve(std::byte* base, std::size_t capacity) {
+  const std::size_t c = capacity;
+  TreeArrays a;
+  a.weight = reinterpret_cast<Weight*>(base);
+  a.child_sum = reinterpret_cast<Weight*>(base + 8 * c);
+  a.wbar = reinterpret_cast<Weight*>(base + 16 * c);
+  a.child_offset = reinterpret_cast<std::int64_t*>(base + 24 * c);
+  a.parent = reinterpret_cast<NodeId*>(base + 32 * c + 8);
+  a.child_list = reinterpret_cast<NodeId*>(base + 36 * c + 8);
+  return a;
+}
+
+}  // namespace
+
+std::size_t OwnedStorage::arena_bytes(std::size_t capacity) {
+  // 3 Weight arrays + (capacity+1) CSR offsets, all 8 bytes, then
+  // 2 NodeId arrays of 4 bytes.
+  return 32 * capacity + 8 + 8 * capacity;
+}
+
+OwnedStorage::OwnedStorage(std::size_t capacity) {
+  capacity_ = capacity;
+  block_ = ::operator new(arena_bytes(capacity), std::align_val_t{alignof(std::int64_t)});
+  arrays_ = carve(static_cast<std::byte*>(block_), capacity);
+}
+
+OwnedStorage::OwnedStorage(const TreeArrays& src, std::size_t nodes, std::size_t capacity)
+    : OwnedStorage(capacity) {
+  if (nodes > capacity) throw std::logic_error("OwnedStorage: clone larger than capacity");
+  const std::size_t edges = nodes > 0 ? nodes - 1 : 0;
+  std::memcpy(arrays_.weight, src.weight, sizeof(Weight) * nodes);
+  std::memcpy(arrays_.child_sum, src.child_sum, sizeof(Weight) * nodes);
+  std::memcpy(arrays_.wbar, src.wbar, sizeof(Weight) * nodes);
+  std::memcpy(arrays_.child_offset, src.child_offset, sizeof(std::int64_t) * (nodes + 1));
+  std::memcpy(arrays_.parent, src.parent, sizeof(NodeId) * nodes);
+  if (edges > 0) std::memcpy(arrays_.child_list, src.child_list, sizeof(NodeId) * edges);
+}
+
+OwnedStorage::~OwnedStorage() {
+  ::operator delete(block_, std::align_val_t{alignof(std::int64_t)});
+}
+
+MappedStorage::MappedStorage(const std::string& path) {
+#if OOCTREE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("snapshot: cannot open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("snapshot: cannot stat '" + path + "'");
+  }
+  length_ = static_cast<std::size_t>(st.st_size);
+  if (length_ == 0) {
+    ::close(fd);
+    throw std::runtime_error("snapshot: empty file '" + path + "'");
+  }
+  base_ = ::mmap(nullptr, length_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base_ == MAP_FAILED) {
+    base_ = nullptr;
+    throw std::runtime_error("snapshot: cannot mmap '" + path + "'");
+  }
+#else
+  // No mmap on this platform: read the whole file into an 8-aligned heap
+  // block. Same bytes, same bind() offsets, just not zero-copy.
+  heap_fallback_ = true;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("snapshot: cannot open '" + path + "'");
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (sz <= 0) {
+    std::fclose(f);
+    throw std::runtime_error("snapshot: empty file '" + path + "'");
+  }
+  length_ = static_cast<std::size_t>(sz);
+  base_ = ::operator new(length_, std::align_val_t{alignof(std::int64_t)});
+  const std::size_t got = std::fread(base_, 1, length_, f);
+  std::fclose(f);
+  if (got != length_) {
+    ::operator delete(base_, std::align_val_t{alignof(std::int64_t)});
+    base_ = nullptr;
+    throw std::runtime_error("snapshot: short read from '" + path + "'");
+  }
+#endif
+}
+
+MappedStorage::~MappedStorage() {
+  if (base_ == nullptr) return;
+  if (heap_fallback_) {
+    ::operator delete(base_, std::align_val_t{alignof(std::int64_t)});
+  } else {
+#if OOCTREE_HAVE_MMAP
+    ::munmap(base_, length_);
+#endif
+  }
+}
+
+void MappedStorage::bind(const TreeArrays& arrays, std::size_t nodes) {
+  arrays_ = arrays;
+  capacity_ = nodes;
+}
+
+}  // namespace ooctree::core

@@ -1,0 +1,121 @@
+// Flat arena storage behind core::Tree (the million-node refactor).
+//
+// All six per-node arrays of a Tree — parent, weight, the children CSR
+// (offsets + adjacency), child sums and wbar — live in ONE contiguous
+// arena, in structure-of-arrays layout (the flat NodeIndex idiom of
+// BigWorld's loose_octree). A TreeStorage owns that arena and hands out a
+// TreeArrays pointer bundle; Tree mirrors the bundle for single-indirection
+// hot-path access. Two backends implement the contract:
+//
+//   * OwnedStorage  — heap arena allocated in one shot, writable, with
+//     node-capacity headroom so TreeBuilder's expansion appends are
+//     amortized O(1) (growth reallocates the arena and doubles capacity,
+//     exactly like the std::vector storage it replaced);
+//   * MappedStorage — read-only view over an mmap'd .otree snapshot file
+//     (core/snapshot.hpp): loading a tree is a single map, zero parsing,
+//     and the page cache shares the bytes across processes.
+//
+// The backend is invisible through the Tree API: plans computed from a
+// mapped tree are bit-identical to plans from an owned one (pinned by
+// tests/test_snapshot.cpp). Mutation goes through Tree::ensure_owned,
+// which promotes shared or mapped storage to a private OwnedStorage first
+// (copy-on-write), so Tree copies stay O(1) and snapshots stay immutable.
+//
+// Arena layout for node capacity c (8-byte arrays first, so every array is
+// naturally aligned inside an 8-aligned block):
+//
+//   weight       c   x Weight        child_offset c+1 x int64 (CSR offsets)
+//   child_sum    c   x Weight        parent       c   x NodeId
+//   wbar         c   x Weight        child_list   c   x NodeId (c-1 used)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/tree.hpp"
+
+namespace ooctree::core {
+
+// TreeArrays (the pointer bundle into a storage arena) lives in tree.hpp:
+// Tree mirrors one by value for single-indirection access, so the struct
+// must be complete there, while the backends below are only needed by the
+// translation units that build or map storage.
+
+/// Abstract arena backend. Immutable node capacity; the logical node count
+/// lives in the owning Tree (a builder can fill headroom without touching
+/// the storage object).
+class TreeStorage {
+ public:
+  virtual ~TreeStorage() = default;
+  TreeStorage(const TreeStorage&) = delete;
+  TreeStorage& operator=(const TreeStorage&) = delete;
+
+  [[nodiscard]] const TreeArrays& arrays() const { return arrays_; }
+
+  /// Node slots the arena can hold (child_offset holds capacity()+1).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// True when the arena may be written through arrays() (OwnedStorage).
+  [[nodiscard]] virtual bool writable() const = 0;
+
+ protected:
+  TreeStorage() = default;
+
+  TreeArrays arrays_;
+  std::size_t capacity_ = 0;
+};
+
+/// Heap arena, one allocation, writable. Today's (pre-refactor) behavior:
+/// from_parents builds straight into one of these sized exactly n.
+class OwnedStorage final : public TreeStorage {
+ public:
+  /// Uninitialized arena for `capacity` nodes (one allocation).
+  explicit OwnedStorage(std::size_t capacity);
+
+  /// Clone: copies the first `nodes` logical entries out of `src` into a
+  /// fresh arena of `capacity` >= nodes slots (the copy-on-write /
+  /// growth path of Tree::ensure_owned).
+  OwnedStorage(const TreeArrays& src, std::size_t nodes, std::size_t capacity);
+
+  ~OwnedStorage() override;
+
+  [[nodiscard]] bool writable() const override { return true; }
+
+  /// Bytes one arena of `capacity` node slots occupies.
+  [[nodiscard]] static std::size_t arena_bytes(std::size_t capacity);
+
+ private:
+  void* block_ = nullptr;
+};
+
+/// Read-only view over a whole file mapped into memory (POSIX mmap; a
+/// read-into-heap fallback keeps other platforms working). The mapping is
+/// made by the constructor and held for the storage's lifetime; bind()
+/// points the arrays at offsets computed by the snapshot loader once the
+/// header has been validated.
+class MappedStorage final : public TreeStorage {
+ public:
+  /// Maps `path` read-only. Throws std::runtime_error (naming the file) on
+  /// open/stat/map failure or an empty file.
+  explicit MappedStorage(const std::string& path);
+  ~MappedStorage() override;
+
+  [[nodiscard]] bool writable() const override { return false; }
+
+  [[nodiscard]] const std::byte* data() const { return static_cast<const std::byte*>(base_); }
+  [[nodiscard]] std::size_t length() const { return length_; }
+
+  /// Installs the array pointers (into the mapped region) and the node
+  /// capacity. Called exactly once by core::load_snapshot after header
+  /// validation.
+  void bind(const TreeArrays& arrays, std::size_t nodes);
+
+ private:
+  void* base_ = nullptr;
+  std::size_t length_ = 0;
+  bool heap_fallback_ = false;  ///< true when base_ is new[]'d, not mmap'd
+};
+
+}  // namespace ooctree::core

@@ -28,7 +28,7 @@ std::shared_ptr<const PlanStats> error_stats(const std::string& message) {
 
 PlanService::PlanService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_shards),
+      cache_(config.cache_capacity, config.cache_shards, config.persist_dir),
       pool_(config.threads) {}
 
 std::future<PlanResponse> PlanService::submit(PlanRequest request) {
@@ -100,7 +100,10 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
     // Layer 2: canonical key — identical instances from any source collapse.
     const CacheKey key{tree.canonical_hash(), params_fingerprint(request, memory, seed)};
     if (auto hit = cache_.get(key)) {
-      if (fingerprint.has_value()) cache_.put(spec_key, hit);
+      // Spec-fingerprint entries are derivable from the request alone, so
+      // they stay RAM-only (persistable=false); only canonical entries are
+      // worth spilling across restarts.
+      if (fingerprint.has_value()) cache_.put(spec_key, hit, /*persistable=*/false);
       return respond(std::move(hit), Served::kCached);
     }
 
@@ -126,7 +129,7 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
         }
       }
       if (rechecked != nullptr) {
-        if (fingerprint.has_value()) cache_.put(spec_key, rechecked);
+        if (fingerprint.has_value()) cache_.put(spec_key, rechecked, /*persistable=*/false);
         return respond(std::move(rechecked), Served::kCached);
       }
       if (!leader) return respond(pending.get(), Served::kCoalesced);
@@ -141,8 +144,8 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
     try {
       stats = compute(request, std::move(tree), memory, seed);
       if (stats->ok) {
-        cache_.put(key, stats);
-        if (fingerprint.has_value()) cache_.put(spec_key, stats);
+        cache_.put(key, stats, /*persistable=*/true);
+        if (fingerprint.has_value()) cache_.put(spec_key, stats, /*persistable=*/false);
       }
     } catch (...) {
       if (config_.coalesce) {

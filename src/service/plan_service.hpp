@@ -49,6 +49,10 @@ struct ServiceConfig {
   std::size_t cache_shards = 16;      ///< rounded up to a power of two
   std::uint64_t seed = 20170208;      ///< base seed for derived request streams
   bool coalesce = true;               ///< share identical in-flight computations
+  /// Non-empty: persistent canonical cache — evicted/live canonical
+  /// entries are spilled to this directory and reloaded on construction,
+  /// so identical instances are served from cache across restarts.
+  std::string persist_dir = {};
 };
 
 /// Service-level counters (monotonic over the service lifetime).

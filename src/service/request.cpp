@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/core/snapshot.hpp"
 #include "src/core/tree_io.hpp"
 #include "src/sparse/assembly_tree.hpp"
 #include "src/sparse/matrix_market.hpp"
@@ -67,6 +68,7 @@ std::string tree_source_name(TreeSource s) {
     case TreeSource::kParents: return "parents";
     case TreeSource::kTreeFile: return "tree";
     case TreeSource::kMatrixMarket: return "mtx";
+    case TreeSource::kSnapshot: return "snapshot";
   }
   throw std::invalid_argument("tree_source_name: unknown source");
 }
@@ -77,8 +79,9 @@ TreeSource tree_source_from_name(const std::string& name) {
   if (s == "parents") return TreeSource::kParents;
   if (s == "tree" || s == "file") return TreeSource::kTreeFile;
   if (s == "mtx" || s == "matrixmarket") return TreeSource::kMatrixMarket;
+  if (s == "snapshot" || s == "otree") return TreeSource::kSnapshot;
   throw std::invalid_argument("unknown tree source '" + name +
-                              "' (synth | parents | tree | mtx)");
+                              "' (synth | parents | tree | mtx | snapshot)");
 }
 
 std::string priority_name(parallel::Priority p) {
@@ -166,6 +169,8 @@ core::Tree materialize_tree(const PlanRequest& request, std::uint64_t seed) {
         const auto pattern = sparse::load_matrix_market(request.path);
         return sparse::assembly_tree(pattern.permuted(sparse::minimum_degree(pattern)));
       }
+      case TreeSource::kSnapshot:
+        return core::load_snapshot(request.path);
     }
     throw std::invalid_argument("materialize_tree: unknown source");
   }();
@@ -187,7 +192,8 @@ core::Weight resolve_memory(const PlanRequest& request, const core::Tree& tree) 
 }
 
 std::optional<std::uint64_t> request_fingerprint(const PlanRequest& request, std::uint64_t seed) {
-  if (request.source == TreeSource::kTreeFile || request.source == TreeSource::kMatrixMarket)
+  if (request.source == TreeSource::kTreeFile || request.source == TreeSource::kMatrixMarket ||
+      request.source == TreeSource::kSnapshot)
     return std::nullopt;  // the answer depends on file content, not the spec
   std::uint64_t h = util::splitmix64(0xF1ULL);
   h = mix(h, static_cast<std::uint64_t>(request.source));

@@ -31,6 +31,7 @@ enum class TreeSource : std::uint8_t {
   kParents,       ///< explicit parent/weight vectors in the request
   kTreeFile,      ///< '<parent> <weight>' text file (core/tree_io.hpp)
   kMatrixMarket,  ///< .mtx path through the multifrontal pipeline (sparse/)
+  kSnapshot,      ///< .otree binary snapshot, mmap'd zero-copy (core/snapshot.hpp)
 };
 
 [[nodiscard]] std::string tree_source_name(TreeSource s);
@@ -58,7 +59,7 @@ struct PlanRequest {
   // kParents: the tree spelled out in the request.
   std::vector<core::NodeId> parent;
   std::vector<core::Weight> weight;
-  // kTreeFile / kMatrixMarket: on-disk instance.
+  // kTreeFile / kMatrixMarket / kSnapshot: on-disk instance.
   std::string path;
 
   /// Transient-memory model the tree is planned under.

@@ -302,17 +302,21 @@ PlanRequest finish(DecodeState&& state, std::int64_t fallback_id) {
   if (!state.has_id) request.id = fallback_id;
   if (!state.has_source) {
     if (!request.path.empty()) {
-      const bool mtx = request.path.size() >= 4 &&
-                       request.path.compare(request.path.size() - 4, 4, ".mtx") == 0;
-      request.source = mtx ? TreeSource::kMatrixMarket : TreeSource::kTreeFile;
+      const auto has_ext = [&](const char* ext, std::size_t len) {
+        return request.path.size() >= len &&
+               request.path.compare(request.path.size() - len, len, ext) == 0;
+      };
+      request.source = has_ext(".mtx", 4)     ? TreeSource::kMatrixMarket
+                       : has_ext(".otree", 6) ? TreeSource::kSnapshot
+                                              : TreeSource::kTreeFile;
     } else if (!request.parent.empty()) {
       request.source = TreeSource::kParents;
     } else {
       request.source = TreeSource::kSynth;
     }
   }
-  if ((request.source == TreeSource::kTreeFile ||
-       request.source == TreeSource::kMatrixMarket) &&
+  if ((request.source == TreeSource::kTreeFile || request.source == TreeSource::kMatrixMarket ||
+       request.source == TreeSource::kSnapshot) &&
       request.path.empty())
     throw std::runtime_error("file-based request needs a 'path'");
   if (request.source == TreeSource::kParents && request.parent.size() != request.weight.size())

@@ -1,9 +1,12 @@
 #include "src/service/result_cache.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "src/core/check.hpp"
-#include "src/util/rng.hpp"
 
 namespace ooctree::service {
 
@@ -15,9 +18,135 @@ std::size_t round_up_pow2(std::size_t v) {
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// Spilled-entry files: one binary .plan per key, length-prefixed fields.
+// The format is private to this translation unit; snapshots of *trees* are
+// the public interchange format (core/snapshot.hpp), spilled plans are just
+// the cache's own state. Unreadable or foreign files are treated as misses.
+
+constexpr char kPlanMagic[8] = {'O', 'O', 'C', 'P', 'L', 'A', 'N', '\0'};
+constexpr std::uint32_t kPlanVersion = 1;
+
+void put_bytes(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+template <typename T>
+void put_pod(std::ostream& os, const T& v) {
+  put_bytes(os, &v, sizeof v);
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put_pod(os, static_cast<std::uint64_t>(s.size()));
+  put_bytes(os, s.data(), s.size());
+}
+
+template <typename T>
+void put_vector(std::ostream& os, const std::vector<T>& v) {
+  put_pod(os, static_cast<std::uint64_t>(v.size()));
+  put_bytes(os, v.data(), sizeof(T) * v.size());
+}
+
+bool get_bytes(std::istream& is, void* p, std::size_t n) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+template <typename T>
+bool get_pod(std::istream& is, T& v) {
+  return get_bytes(is, &v, sizeof v);
+}
+
+bool get_string(std::istream& is, std::string& s) {
+  std::uint64_t n = 0;
+  if (!get_pod(is, n) || n > (1ULL << 32)) return false;
+  s.resize(static_cast<std::size_t>(n));
+  return n == 0 || get_bytes(is, s.data(), s.size());
+}
+
+template <typename T>
+bool get_vector(std::istream& is, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  if (!get_pod(is, n) || n > (1ULL << 32)) return false;
+  v.resize(static_cast<std::size_t>(n));
+  return n == 0 || get_bytes(is, v.data(), sizeof(T) * v.size());
+}
+
+void write_plan_file(std::ostream& os, const CacheKey& key, const PlanStats& s) {
+  put_bytes(os, kPlanMagic, sizeof kPlanMagic);
+  put_pod(os, kPlanVersion);
+  put_pod(os, std::uint32_t{0});  // reserved
+  put_pod(os, key.tree);
+  put_pod(os, key.params);
+  put_pod(os, static_cast<std::uint8_t>(s.ok));
+  put_string(os, s.error);
+  put_pod(os, static_cast<std::uint64_t>(s.nodes));
+  put_pod(os, s.tree_hash);
+  put_pod(os, s.total_weight);
+  put_pod(os, s.lb);
+  put_pod(os, s.memory);
+  put_pod(os, static_cast<std::uint32_t>(s.strategy));
+  put_vector(os, s.schedule);
+  put_vector(os, s.io);
+  put_pod(os, s.io_volume);
+  put_pod(os, s.peak_resident);
+  put_pod(os, s.evictions);
+  put_pod(os, static_cast<std::uint8_t>(s.replayed));
+  put_pod(os, static_cast<std::uint8_t>(s.replay_feasible));
+  put_pod(os, s.workers);
+  put_pod(os, s.makespan);
+  put_pod(os, s.parallel_io);
+  put_pod(os, s.utilization);
+  put_pod(os, s.failed_starts);
+  put_pod(os, s.page_size);
+  put_pod(os, s.pages_written);
+  put_pod(os, s.pages_read);
+  put_pod(os, s.read_stall);
+}
+
+bool read_plan_file(std::istream& is, CacheKey& key, PlanStats& s) {
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  if (!get_bytes(is, magic, sizeof magic) || std::memcmp(magic, kPlanMagic, sizeof magic) != 0)
+    return false;
+  if (!get_pod(is, version) || version != kPlanVersion || !get_pod(is, reserved)) return false;
+  std::uint8_t ok = 0;
+  std::uint8_t replayed = 0;
+  std::uint8_t replay_feasible = 0;
+  std::uint64_t nodes = 0;
+  std::uint32_t strategy = 0;
+  const bool good = get_pod(is, key.tree) && get_pod(is, key.params) && get_pod(is, ok) &&
+                    get_string(is, s.error) && get_pod(is, nodes) && get_pod(is, s.tree_hash) &&
+                    get_pod(is, s.total_weight) && get_pod(is, s.lb) && get_pod(is, s.memory) &&
+                    get_pod(is, strategy) && get_vector(is, s.schedule) && get_vector(is, s.io) &&
+                    get_pod(is, s.io_volume) && get_pod(is, s.peak_resident) &&
+                    get_pod(is, s.evictions) && get_pod(is, replayed) &&
+                    get_pod(is, replay_feasible) && get_pod(is, s.workers) &&
+                    get_pod(is, s.makespan) && get_pod(is, s.parallel_io) &&
+                    get_pod(is, s.utilization) && get_pod(is, s.failed_starts) &&
+                    get_pod(is, s.page_size) && get_pod(is, s.pages_written) &&
+                    get_pod(is, s.pages_read) && get_pod(is, s.read_stall);
+  if (!good) return false;
+  s.ok = ok != 0;
+  s.nodes = static_cast<std::size_t>(nodes);
+  s.strategy = static_cast<core::Strategy>(strategy);
+  s.replayed = replayed != 0;
+  s.replay_feasible = replay_feasible != 0;
+  // Reject trailing garbage: the next read must hit EOF.
+  return is.peek() == std::char_traits<char>::eof();
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards, std::string persist_dir)
+    : persist_dir_(std::move(persist_dir)) {
   const std::size_t count = round_up_pow2(std::max<std::size_t>(1, shards));
   shard_mask_ = count - 1;
   // Per-shard budget: ceil(capacity / count) so the total is never below
@@ -25,14 +154,65 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
   shard_capacity_ = capacity == 0 ? 0 : (capacity + count - 1) / count;
   shards_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) shards_.push_back(std::make_unique<Shard>());
+  if (persistent() && enabled()) {
+    std::filesystem::create_directories(persist_dir_);
+    preload();
+  }
 }
 
-ResultCache::Shard& ResultCache::shard_for(const CacheKey& key) {
-  // Remix before selecting: the low bits of `tree` also pick hash-map
-  // buckets inside the shard, and reusing them verbatim would correlate
-  // the two.
-  const std::uint64_t h = util::splitmix64(key.tree ^ key.params);
-  return *shards_[static_cast<std::size_t>(h & shard_mask_)];
+ResultCache::~ResultCache() {
+  if (!persistent() || !enabled()) return;
+  // Flush: eviction only spills what falls off the LRU tail; entries still
+  // resident at shutdown must reach disk too or a restart would lose them.
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    for (const Entry& e : shard->lru)
+      if (e.persistable) spill(e.key, *e.value);
+  }
+}
+
+std::string ResultCache::entry_path(const CacheKey& key) const {
+  return persist_dir_ + "/" + hex16(key.tree) + "-" + hex16(key.params) + ".plan";
+}
+
+bool ResultCache::spill(const CacheKey& key, const PlanStats& value) const {
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) return false;  // deterministic per key
+  const std::string tmp = path + ".tmp";
+  std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_plan_file(os, key, value);
+  os.flush();
+  const bool ok = static_cast<bool>(os);
+  os.close();
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const PlanStats> ResultCache::load_entry(const CacheKey& key) const {
+  std::ifstream is(entry_path(key), std::ios::binary);
+  if (!is) return nullptr;
+  CacheKey stored;
+  auto stats = std::make_shared<PlanStats>();
+  if (!read_plan_file(is, stored, *stats) || !(stored == key)) return nullptr;
+  return stats;
+}
+
+void ResultCache::preload() {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(persist_dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".plan") continue;
+    std::ifstream is(entry.path(), std::ios::binary);
+    if (!is) continue;
+    CacheKey key;
+    auto stats = std::make_shared<PlanStats>();
+    if (!read_plan_file(is, key, *stats)) continue;  // foreign/corrupt: skip
+    put(key, std::move(stats), true);
+  }
 }
 
 std::shared_ptr<const PlanStats> ResultCache::get(const CacheKey& key) {
@@ -40,33 +220,50 @@ std::shared_ptr<const PlanStats> ResultCache::get(const CacheKey& key) {
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
   const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    ++shard.misses;
-    return nullptr;
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh recency
+    ++shard.hits;
+    return it->second->value;
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh recency
-  ++shard.hits;
-  return it->second->second;
+  if (persistent()) {
+    if (std::shared_ptr<const PlanStats> restored = load_entry(key)) {
+      insert_locked(shard, key, restored, true);
+      ++shard.restored;
+      ++shard.hits;
+      return restored;
+    }
+  }
+  ++shard.misses;
+  return nullptr;
 }
 
-void ResultCache::put(const CacheKey& key, std::shared_ptr<const PlanStats> value) {
-  if (!enabled()) return;
-  Shard& shard = shard_for(key);
-  const std::lock_guard lock(shard.mutex);
+void ResultCache::insert_locked(Shard& shard, const CacheKey& key,
+                                std::shared_ptr<const PlanStats> value, bool persistable) {
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->persistable = it->second->persistable || persistable;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, std::move(value));
+  shard.lru.emplace_front(Entry{key, std::move(value), persistable});
   shard.map.emplace(key, shard.lru.begin());
   ++shard.insertions;
   while (shard.lru.size() > shard_capacity_) {
-    shard.map.erase(shard.lru.back().first);
+    const Entry& victim = shard.lru.back();
+    if (victim.persistable && persistent() && spill(victim.key, *victim.value)) ++shard.spilled;
+    shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+void ResultCache::put(const CacheKey& key, std::shared_ptr<const PlanStats> value,
+                      bool persistable) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  insert_locked(shard, key, std::move(value), persistable);
 }
 
 void ResultCache::audit() const {
@@ -77,16 +274,22 @@ void ResultCache::audit() const {
     core::audit_check(shard->lru.size() <= shard_capacity_,
                       "ResultCache: shard holds more entries than its capacity");
     for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
-      const auto slot = shard->map.find(it->first);
+      const auto slot = shard->map.find(it->key);
       core::audit_check(slot != shard->map.end(),
                         "ResultCache: LRU entry missing from the shard map");
       core::audit_check(slot->second == it, "ResultCache: shard map points at the wrong node");
-      core::audit_check(it->second != nullptr, "ResultCache: cached value is null");
+      core::audit_check(it->value != nullptr, "ResultCache: cached value is null");
     }
     // Insertion and eviction are the only ways entries appear and leave,
     // so the counters must reproduce the shard's population exactly.
     core::audit_check(shard->insertions == shard->evictions + shard->lru.size(),
                       "ResultCache: insertion/eviction counters cannot produce this shard");
+    // Every restore re-inserted an entry, and spills only happen on
+    // eviction or shutdown flush.
+    core::audit_check(shard->restored <= shard->insertions,
+                      "ResultCache: more restores than insertions");
+    core::audit_check(shard->spilled <= shard->evictions,
+                      "ResultCache: more eviction spills than evictions");
   }
 }
 
@@ -99,6 +302,8 @@ CacheCounters ResultCache::counters() const {
     total.misses += shard->misses;
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
+    total.spilled += shard->spilled;
+    total.restored += shard->restored;
     total.entries += shard->lru.size();
   }
   return total;

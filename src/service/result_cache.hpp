@@ -9,6 +9,15 @@
 // LRU list, so concurrent workers only collide when their keys land on the
 // same shard. Capacity is enforced per shard (total/shards, at least 1);
 // eviction is strict LRU within the shard.
+//
+// Persistent mode: constructed with a directory, the cache spills evicted
+// persistable entries (the service marks canonical-key entries persistable;
+// fingerprint keys are cheap to recompute and stay RAM-only) to one binary
+// .plan file per key, flushes the remaining persistable entries on
+// destruction, preloads the directory on construction, and falls back to
+// the directory on a RAM miss — so canonical plans survive restarts
+// (pinned by the restart test in tests/test_service.cpp). Values are
+// deterministic per key, so an existing file is never rewritten.
 #pragma once
 
 #include <cstddef>
@@ -16,11 +25,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "src/service/request.hpp"
+#include "src/util/rng.hpp"
 
 namespace ooctree::service {
 
@@ -31,12 +41,19 @@ struct CacheKey {
   bool operator==(const CacheKey&) const = default;
 };
 
+/// The one 64-bit digest every consumer of a CacheKey derives from: the
+/// shard selector takes its high bits, the shard's hash map (and the
+/// service's in-flight table) its low bits, so the two stay decorrelated
+/// while provably agreeing on the underlying mix (pinned by a test).
+[[nodiscard]] inline std::uint64_t cache_key_digest(const CacheKey& k) {
+  return util::splitmix64(util::splitmix64(k.tree) ^ k.params);
+}
+
 /// Hash functor for CacheKey maps (the cache shards and the service's
 /// in-flight table).
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& k) const {
-    // The components are splitmix digests already; fold them.
-    return static_cast<std::size_t>(k.tree ^ (k.params * 0x9e3779b97f4a7c15ULL));
+    return static_cast<std::size_t>(cache_key_digest(k));
   }
 };
 
@@ -46,6 +63,8 @@ struct CacheCounters {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t spilled = 0;   ///< entries written to the persist directory
+  std::uint64_t restored = 0;  ///< RAM misses answered from the directory
   std::size_t entries = 0;
   std::size_t capacity = 0;
 };
@@ -55,18 +74,33 @@ class ResultCache {
  public:
   /// `capacity` = total entries across shards (0 disables the cache:
   /// get() always misses, put() is a no-op). `shards` is rounded up to a
-  /// power of two.
-  ResultCache(std::size_t capacity, std::size_t shards);
+  /// power of two. A non-empty `persist_dir` enables persistent mode: the
+  /// directory is created if missing and preloaded into the cache.
+  ResultCache(std::size_t capacity, std::size_t shards, std::string persist_dir = {});
+
+  /// Flushes persistable entries to the persist directory (when enabled).
+  ~ResultCache();
 
   /// The cached value, or nullptr on miss. A hit refreshes LRU recency.
+  /// In persistent mode a RAM miss falls back to the directory; a restore
+  /// counts as a hit (and re-inserts the entry).
   [[nodiscard]] std::shared_ptr<const PlanStats> get(const CacheKey& key);
 
   /// Inserts (or refreshes) key -> value, evicting the shard's LRU tail
-  /// when over capacity.
-  void put(const CacheKey& key, std::shared_ptr<const PlanStats> value);
+  /// when over capacity. `persistable` marks the entry for spill/flush in
+  /// persistent mode; refreshing an entry ORs the flags.
+  void put(const CacheKey& key, std::shared_ptr<const PlanStats> value, bool persistable = true);
 
   [[nodiscard]] CacheCounters counters() const;
   [[nodiscard]] bool enabled() const { return shard_capacity_ > 0; }
+  [[nodiscard]] bool persistent() const { return !persist_dir_.empty(); }
+
+  /// Shard routing, exposed so tests can pin that shard selection and
+  /// bucket hashing derive from the same cache_key_digest.
+  [[nodiscard]] std::size_t shard_index(const CacheKey& key) const {
+    return static_cast<std::size_t>((cache_key_digest(key) >> 32) & shard_mask_);
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   /// Full consistency sweep, throwing core::AuditError on drift: per
   /// shard, the hash map and the LRU list describe the same entries (same
@@ -78,22 +112,48 @@ class ResultCache {
   void audit() const;
 
  private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const PlanStats> value;
+    bool persistable = false;
+  };
+
   struct Shard {
     std::mutex mutex;
     /// Front = most recently used; back = eviction candidate.
-    std::list<std::pair<CacheKey, std::shared_ptr<const PlanStats>>> lru;
-    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> map;
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t restored = 0;
   };
 
-  [[nodiscard]] Shard& shard_for(const CacheKey& key);
+  [[nodiscard]] Shard& shard_for(const CacheKey& key) { return *shards_[shard_index(key)]; }
+
+  /// File path of a key's spilled entry inside persist_dir_.
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+  /// Writes one entry file unless it already exists (values are
+  /// deterministic per key). Returns true when a file was written.
+  bool spill(const CacheKey& key, const PlanStats& value) const;
+
+  /// Loads a spilled entry; nullptr when absent or unreadable.
+  [[nodiscard]] std::shared_ptr<const PlanStats> load_entry(const CacheKey& key) const;
+
+  /// Inserts under the shard lock (the common body of put and restore).
+  void insert_locked(Shard& shard, const CacheKey& key, std::shared_ptr<const PlanStats> value,
+                     bool persistable);
+
+  /// put() every entry found in persist_dir_ (constructor preload).
+  void preload();
 
   std::size_t shard_capacity_ = 0;
   std::uint64_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::string persist_dir_;
 };
 
 }  // namespace ooctree::service

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
 
+#include "src/core/snapshot.hpp"
 #include "src/core/strategies.hpp"
 #include "src/core/tree_io.hpp"
 #include "src/parallel/parallel_sim.hpp"
@@ -443,6 +445,143 @@ TEST(RequestIo, AutoDetectsFormat) {
   }
   EXPECT_EQ(service::load_requests(jsonl_path)[0].nodes, 32u);
   EXPECT_EQ(service::load_requests(csv_path)[0].nodes, 48u);
+}
+
+TEST(RequestIo, InfersSnapshotSourceFromPath) {
+  EXPECT_EQ(service::request_from_json(R"({"path": "a.otree"})").source,
+            TreeSource::kSnapshot);
+  EXPECT_EQ(service::request_from_json(R"({"source": "snapshot", "path": "x"})").source,
+            TreeSource::kSnapshot);
+}
+
+// The two consumers of a CacheKey — shard routing and bucket hashing —
+// historically used distinct ad-hoc mixers; both now derive from
+// cache_key_digest. Pin the agreement over a spread of keys, including
+// adversarial ones (all-zero, single-bit, equal halves).
+TEST(ResultCacheHash, ShardAndBucketDeriveFromOneDigest) {
+  const service::ResultCache cache(64, 8);
+  util::Rng rng(99);
+  std::vector<service::CacheKey> keys = {
+      {0, 0}, {1, 0}, {0, 1}, {~0ULL, ~0ULL}, {42, 42}, {1ULL << 63, 0}};
+  for (int i = 0; i < 256; ++i) keys.push_back({rng.engine()(), rng.engine()()});
+  for (const service::CacheKey& k : keys) {
+    const std::uint64_t digest = service::cache_key_digest(k);
+    EXPECT_EQ(service::CacheKeyHash{}(k), static_cast<std::size_t>(digest));
+    EXPECT_EQ(cache.shard_index(k),
+              static_cast<std::size_t>((digest >> 32) & (cache.shard_count() - 1)));
+    EXPECT_LT(cache.shard_index(k), cache.shard_count());
+  }
+}
+
+/// A fresh, empty persist directory (TempDir survives across test runs, so
+/// leftover .plan files from a previous invocation must not leak in).
+std::string fresh_persist_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::shared_ptr<const service::PlanStats> fake_stats(std::uint64_t tree_hash) {
+  auto stats = std::make_shared<service::PlanStats>();
+  stats->ok = true;
+  stats->nodes = 3;
+  stats->tree_hash = tree_hash;
+  stats->total_weight = 9;
+  stats->lb = 7;
+  stats->memory = 10;
+  stats->strategy = core::Strategy::kPostOrderMinIo;
+  stats->schedule = {2, 1, 0};
+  stats->io = {0, 2, 0};
+  stats->io_volume = 2;
+  stats->peak_resident = 9;
+  stats->evictions = 1;
+  return stats;
+}
+
+TEST(ResultCache, PersistentSpillRestoreRoundTrip) {
+  const std::string dir = fresh_persist_dir("plan_cache_spill");
+  const service::CacheKey hot{101, 5};
+  const service::CacheKey cold{202, 5};
+  service::ResultCache cache(1, 1, dir);  // capacity 1: second put evicts
+  cache.put(cold, fake_stats(202));
+  cache.put(hot, fake_stats(101));  // evicts cold -> spilled to dir
+  EXPECT_GE(cache.counters().spilled, 1u);
+
+  // RAM miss on the evicted key falls back to the directory.
+  const auto restored = cache.get(cold);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(service::identical(*restored, *fake_stats(202)));
+  EXPECT_GE(cache.counters().restored, 1u);
+  cache.audit();
+}
+
+TEST(ResultCache, NonPersistableEntriesStayRamOnly) {
+  const std::string dir = fresh_persist_dir("plan_cache_ram_only");
+  service::ResultCache cache(1, 1, dir);
+  cache.put({301, 1}, fake_stats(301), /*persistable=*/false);
+  cache.put({302, 1}, fake_stats(302), /*persistable=*/false);  // evicts 301
+  EXPECT_EQ(cache.counters().spilled, 0u);
+  EXPECT_EQ(cache.get({301, 1}), nullptr);  // gone for good
+}
+
+TEST(ResultCache, FlushOnDestroyThenPreload) {
+  const std::string dir = fresh_persist_dir("plan_cache_flush");
+  const service::CacheKey key{77, 8};
+  {
+    service::ResultCache cache(16, 2, dir);
+    cache.put(key, fake_stats(77));
+  }  // destructor flushes the live persistable entry
+  service::ResultCache reborn(16, 2, dir);
+  const auto value = reborn.get(key);
+  ASSERT_NE(value, nullptr);
+  EXPECT_TRUE(service::identical(*value, *fake_stats(77)));
+}
+
+// The ISSUE acceptance test: a restarted service with the same persist
+// directory serves a previously planned request from cache, bit-identical
+// to the originally computed response.
+TEST(PlanService, PersistentCacheSurvivesRestart) {
+  const std::string dir = fresh_persist_dir("plan_cache_restart");
+  const PlanRequest request = parents_request(test_tree(55), 1);
+  service::PlanStats original;
+  {
+    PlanService first(ServiceConfig{.threads = 1, .persist_dir = dir});
+    const PlanResponse computed = first.plan(request);
+    ASSERT_TRUE(computed.stats->ok) << computed.stats->error;
+    EXPECT_EQ(computed.served, Served::kComputed);
+    original = *computed.stats;
+  }  // service destroyed: canonical entry flushed to dir
+
+  PlanService second(ServiceConfig{.threads = 1, .persist_dir = dir});
+  const PlanResponse replayed = second.plan(request);
+  ASSERT_TRUE(replayed.stats->ok) << replayed.stats->error;
+  EXPECT_EQ(replayed.served, Served::kCached);
+  EXPECT_TRUE(service::identical(original, *replayed.stats));
+  EXPECT_EQ(second.stats().computed, 0u);
+  second.audit(/*quiescent=*/true);
+}
+
+// A .otree snapshot request plans bit-identically to the same instance
+// submitted as inline parent vectors, and deduplicates against it through
+// the canonical-tree cache layer.
+TEST(PlanService, SnapshotSourceMatchesParentsSource) {
+  const core::Tree tree = test_tree(66);
+  const std::string path = ::testing::TempDir() + "service_instance.otree";
+  core::save_snapshot(path, tree);
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse via_parents = planner.plan(parents_request(tree, 1));
+  ASSERT_TRUE(via_parents.stats->ok) << via_parents.stats->error;
+
+  PlanRequest snap;
+  snap.id = 2;
+  snap.source = TreeSource::kSnapshot;
+  snap.path = path;
+  snap.memory_lb = 1.2;
+  const PlanResponse via_snapshot = planner.plan(snap);
+  ASSERT_TRUE(via_snapshot.stats->ok) << via_snapshot.stats->error;
+  EXPECT_EQ(via_snapshot.served, Served::kCached);  // canonical-hash dedup
+  EXPECT_TRUE(service::identical(*via_parents.stats, *via_snapshot.stats));
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Snapshot suite: .otree save/load round trips, the mapped-vs-owned
+// differential (plans from a MappedStorage tree must be bit-identical to
+// plans from the same tree built via from_parents, across all strategies
+// and both memory models), copy-on-write promotion under TreeBuilder, and
+// corrupt-file rejection — every malformed snapshot throws a clean
+// std::runtime_error naming the file, never crashes or silently misreads
+// (the asan-ubsan preset runs this suite too).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/snapshot.hpp"
+#include "src/core/strategies.hpp"
+#include "src/core/tree_builder.hpp"
+#include "src/core/tree_io.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_support.hpp"
+
+namespace ooctree {
+namespace {
+
+using core::MemoryModel;
+using core::NodeId;
+using core::Tree;
+using core::Weight;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+Tree random_tree(std::uint64_t seed, std::size_t n = 80, MemoryModel model = MemoryModel::kMaxInOut) {
+  util::Rng rng(seed);
+  Tree t = test::small_random_wide_tree(n, 60, rng);
+  return t.memory_model() == model ? t : t.with_memory_model(model);
+}
+
+/// Field-by-field comparison through the public API.
+void expect_same_tree(const Tree& a, const Tree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.memory_model(), b.memory_model());
+  EXPECT_EQ(a.min_feasible_memory(), b.min_feasible_memory());
+  EXPECT_EQ(a.total_weight(), b.total_weight());
+  EXPECT_EQ(a.canonical_hash(), b.canonical_hash());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    EXPECT_EQ(a.parent(id), b.parent(id));
+    EXPECT_EQ(a.weight(id), b.weight(id));
+    EXPECT_EQ(a.child_weight_sum(id), b.child_weight_sum(id));
+    EXPECT_EQ(a.wbar(id), b.wbar(id));
+    ASSERT_EQ(a.num_children(id), b.num_children(id));
+    for (std::size_t k = 0; k < a.num_children(id); ++k)
+      EXPECT_EQ(a.children(id)[k], b.children(id)[k]);
+  }
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  const Tree original = random_tree(11);
+  const std::string path = temp_path("roundtrip.otree");
+  core::save_snapshot(path, original);
+  const Tree mapped = core::load_snapshot(path);
+  EXPECT_FALSE(original.is_mapped());
+  EXPECT_TRUE(mapped.is_mapped());
+  expect_same_tree(original, mapped);
+}
+
+TEST(Snapshot, RoundTripSumModel) {
+  const Tree original = random_tree(12, 70, MemoryModel::kSumInOut);
+  const std::string path = temp_path("roundtrip_sum.otree");
+  core::save_snapshot(path, original);
+  const Tree mapped = core::load_snapshot(path);
+  EXPECT_EQ(mapped.memory_model(), MemoryModel::kSumInOut);
+  expect_same_tree(original, mapped);
+}
+
+TEST(Snapshot, SingleNodeTree) {
+  const Tree one = core::make_tree({{core::kNoNode, 7}});
+  const std::string path = temp_path("single.otree");
+  core::save_snapshot(path, one);
+  expect_same_tree(one, core::load_snapshot(path));
+}
+
+TEST(Snapshot, ProbeReportsHeader) {
+  const Tree tree = random_tree(13);
+  const std::string path = temp_path("probe.otree");
+  core::save_snapshot(path, tree);
+  const core::SnapshotInfo info = core::probe_snapshot(path);
+  EXPECT_EQ(info.nodes, tree.size());
+  EXPECT_EQ(info.model, tree.memory_model());
+  EXPECT_EQ(info.root, tree.root());
+  EXPECT_EQ(info.max_wbar, tree.min_feasible_memory());
+  EXPECT_EQ(info.total_weight, tree.total_weight());
+  EXPECT_EQ(info.tree_hash, tree.canonical_hash());
+}
+
+// The acceptance differential: a mapped tree must plan bit-identically to
+// its from_parents twin under every strategy and both memory models.
+TEST(Snapshot, MappedPlansBitIdenticalToOwnedPlans) {
+  for (const MemoryModel model : {MemoryModel::kMaxInOut, MemoryModel::kSumInOut}) {
+    const Tree owned = random_tree(21, 90, model);
+    const std::string path = temp_path("differential.otree");
+    core::save_snapshot(path, owned);
+    const Tree mapped = core::load_snapshot(path);
+    const Weight memory = owned.min_feasible_memory() * 3 / 2;
+    for (const core::Strategy strategy : core::all_strategies()) {
+      const core::StrategyOutcome a = core::run_strategy(strategy, owned, memory);
+      const core::StrategyOutcome b = core::run_strategy(strategy, mapped, memory);
+      EXPECT_EQ(a.schedule, b.schedule) << core::strategy_name(strategy);
+      EXPECT_EQ(a.evaluation.io, b.evaluation.io) << core::strategy_name(strategy);
+      EXPECT_EQ(a.evaluation.io_volume, b.evaluation.io_volume);
+      EXPECT_EQ(a.evaluation.peak_resident, b.evaluation.peak_resident);
+      EXPECT_EQ(a.evaluation.evictions, b.evaluation.evictions);
+    }
+  }
+}
+
+// TreeBuilder on a mapped tree must promote to an owned arena (the file is
+// read-only) and then behave exactly like a builder on the owned twin.
+TEST(Snapshot, BuilderPromotesMappedStorageCopyOnWrite) {
+  const Tree owned = random_tree(31, 40);
+  const std::string path = temp_path("cow.otree");
+  core::save_snapshot(path, owned);
+  const Tree mapped = core::load_snapshot(path);
+
+  core::TreeBuilder from_mapped(mapped);
+  core::TreeBuilder from_owned(owned);
+  const NodeId victim = owned.root();
+  const Weight tau = owned.weight(victim) / 2;
+  EXPECT_EQ(from_mapped.expand(victim, tau), from_owned.expand(victim, tau));
+  expect_same_tree(from_owned.tree(), from_mapped.tree());
+  EXPECT_FALSE(from_mapped.tree().is_mapped());
+
+  // The builder copied; the snapshot file and the mapped original are
+  // untouched.
+  expect_same_tree(core::load_snapshot(path), mapped);
+  EXPECT_EQ(mapped.size(), owned.size());
+}
+
+// Copies share storage; mutating a copy through TreeBuilder must not leak
+// into the original (use_count > 1 forces the clone).
+TEST(Snapshot, SharedOwnedStorageIsCopyOnWrite) {
+  const Tree original = random_tree(32, 30);
+  const std::uint64_t hash_before = original.canonical_hash();
+  Tree copy = original;  // shares the arena
+  core::TreeBuilder builder(std::move(copy));
+  (void)builder.expand(original.root(), 0);
+  EXPECT_EQ(original.canonical_hash(), hash_before);
+  EXPECT_EQ(original.size() + 2, builder.tree().size());
+}
+
+TEST(Snapshot, MoveResetsSource) {
+  Tree a = random_tree(33, 20);
+  const std::size_t n = a.size();
+  const Tree b = std::move(a);
+  EXPECT_EQ(b.size(), n);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): pinned contract
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-snapshot rejection. Each case writes a damaged file and expects a
+// std::runtime_error whose message names the file.
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_rejected(const std::string& path, bool header_damage = true) {
+  try {
+    (void)core::load_snapshot(path);
+    FAIL() << "load_snapshot accepted a corrupt file: " << path;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error does not name the file: " << e.what();
+  }
+  // probe reads only the header, so it agrees with load exactly when the
+  // damage is header-visible (body-level damage is load's job to catch).
+  if (header_damage) {
+    EXPECT_THROW((void)core::probe_snapshot(path), std::runtime_error);
+  }
+}
+
+std::string corrupt_copy(const std::string& name, const Tree& tree,
+                         const std::function<void(std::vector<char>&)>& damage) {
+  const std::string good = temp_path("good_" + name);
+  const std::string bad = temp_path(name);
+  core::save_snapshot(good, tree);
+  std::vector<char> bytes = read_file(good);
+  damage(bytes);
+  write_file(bad, bytes);
+  return bad;
+}
+
+TEST(SnapshotRejection, MissingFile) {
+  const std::string path = temp_path("no_such.otree");
+  expect_rejected(path);
+}
+
+TEST(SnapshotRejection, TruncatedHeader) {
+  const Tree tree = random_tree(41, 20);
+  expect_rejected(corrupt_copy("truncated_header.otree", tree,
+                               [](std::vector<char>& b) { b.resize(17); }));
+}
+
+TEST(SnapshotRejection, TruncatedBody) {
+  const Tree tree = random_tree(42, 20);
+  expect_rejected(corrupt_copy("truncated_body.otree", tree,
+                               [](std::vector<char>& b) { b.resize(b.size() - 5); }));
+}
+
+TEST(SnapshotRejection, BadMagic) {
+  const Tree tree = random_tree(43, 20);
+  expect_rejected(
+      corrupt_copy("bad_magic.otree", tree, [](std::vector<char>& b) { b[0] = 'X'; }));
+}
+
+TEST(SnapshotRejection, WrongVersion) {
+  const Tree tree = random_tree(44, 20);
+  expect_rejected(corrupt_copy("bad_version.otree", tree, [](std::vector<char>& b) {
+    const std::uint32_t v = 99;
+    std::memcpy(b.data() + 8, &v, sizeof v);
+  }));
+}
+
+TEST(SnapshotRejection, WrongEndianness) {
+  const Tree tree = random_tree(45, 20);
+  expect_rejected(corrupt_copy("bad_endian.otree", tree, [](std::vector<char>& b) {
+    // Byte-swapped tag: what a big-endian writer would have produced.
+    const std::uint32_t v = 0x04030201;
+    std::memcpy(b.data() + 12, &v, sizeof v);
+  }));
+}
+
+TEST(SnapshotRejection, NodeCountInconsistentWithFileSize) {
+  const Tree tree = random_tree(46, 20);
+  expect_rejected(corrupt_copy("bad_nodes.otree", tree, [](std::vector<char>& b) {
+    const std::uint64_t n = 1000000;  // header claims 10^6 nodes, file has 20
+    std::memcpy(b.data() + 24, &n, sizeof n);
+  }));
+}
+
+TEST(SnapshotRejection, ZeroNodeCount) {
+  const Tree tree = random_tree(47, 20);
+  expect_rejected(corrupt_copy("zero_nodes.otree", tree, [](std::vector<char>& b) {
+    const std::uint64_t n = 0;
+    std::memcpy(b.data() + 24, &n, sizeof n);
+  }));
+}
+
+TEST(SnapshotRejection, RootOutOfRange) {
+  const Tree tree = random_tree(48, 20);
+  expect_rejected(corrupt_copy("bad_root.otree", tree, [](std::vector<char>& b) {
+    const std::int64_t r = 20;  // == nodes, one past the last valid id
+    std::memcpy(b.data() + 32, &r, sizeof r);
+  }));
+}
+
+TEST(SnapshotRejection, InvalidMemoryModel) {
+  const Tree tree = random_tree(49, 20);
+  expect_rejected(corrupt_copy("bad_model.otree", tree, [](std::vector<char>& b) {
+    const std::uint32_t m = 7;
+    std::memcpy(b.data() + 16, &m, sizeof m);
+  }));
+}
+
+TEST(SnapshotRejection, BrokenCsrBookends) {
+  const Tree tree = random_tree(50, 20);
+  const std::size_t n = tree.size();
+  expect_rejected(corrupt_copy("bad_csr.otree", tree,
+                               [n](std::vector<char>& b) {
+                                 const std::int64_t wrong = 5;  // child_offset[0] must be 0
+                                 std::memcpy(b.data() + 64 + 24 * n, &wrong, sizeof wrong);
+                               }),
+                  /*header_damage=*/false);
+}
+
+TEST(SnapshotRejection, EmptyFile) {
+  const std::string path = temp_path("empty.otree");
+  write_file(path, {});
+  expect_rejected(path);
+}
+
+}  // namespace
+}  // namespace ooctree

@@ -164,6 +164,41 @@ TEST(TreeIo, RejectsGarbage) {
   EXPECT_THROW(core::read_tree(cyclic), std::runtime_error);
 }
 
+TEST(TreeIo, RejectsTrailingGarbageOnDataLines) {
+  // A third token that is not a comment is a malformed line, not padding.
+  std::istringstream extra("-1 4\n0 2 oops\n");
+  EXPECT_THROW(core::read_tree(extra), std::runtime_error);
+}
+
+// Files written on Windows (CRLF), padded with trailing blanks, or missing
+// the final newline must parse identically to their clean counterparts.
+TEST(TreeIo, CrlfLineEndingsRoundTrip) {
+  std::istringstream unix_file("#!model sum\n-1 4\n0 2\n0 3\n");
+  const Tree clean = core::read_tree(unix_file);
+  std::istringstream crlf("#!model sum\r\n-1 4\r\n0 2\r\n0 3\r\n");
+  const Tree t = core::read_tree(crlf);
+  EXPECT_EQ(t.memory_model(), core::MemoryModel::kSumInOut);
+  EXPECT_EQ(t.canonical_hash(), clean.canonical_hash());
+}
+
+TEST(TreeIo, TrailingWhitespaceTolerated) {
+  std::istringstream padded("-1 4 \t\n0 2\t\n0 3  \n");
+  const Tree t = core::read_tree(padded);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.weight(2), 3);
+}
+
+TEST(TreeIo, FinalLineWithoutNewline) {
+  std::istringstream clean("-1 4\n0 2\n0 3\n");
+  std::istringstream chopped("-1 4\n0 2\n0 3");
+  EXPECT_EQ(core::read_tree(chopped).canonical_hash(),
+            core::read_tree(clean).canonical_hash());
+
+  // Same, CRLF flavor with a bare \r at EOF.
+  std::istringstream crlf_chopped("-1 4\r\n0 2\r\n0 3\r");
+  EXPECT_EQ(core::read_tree(crlf_chopped).size(), 3u);
+}
+
 TEST(TreeHash, IndependentOfConstructionRoute) {
   const Tree direct = make_tree({{-1, 4}, {0, 2}, {0, 3}, {2, 5}});
   const Tree rebuilt = Tree::from_parents({-1, 0, 0, 2}, {4, 2, 3, 5});
