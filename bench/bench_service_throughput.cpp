@@ -9,7 +9,17 @@
 // service and checks each cached response bit-identical to recomputation —
 // the service-level twin of the engine differential suites from PR 2/3.
 //
-// Writes bench_service_throughput.csv (one row per cell) and
+// A second block exercises the multi-tenant server (src/server/) over the
+// same instance family: an overload storm (offered load far beyond one
+// worker's capacity against a bounded admission queue), a fairness run
+// (three tenants with 2:1:1 weights backlogged behind a plug, per-tenant
+// wait-latency percentiles and a quota-floor check on dispatch order), and
+// a batch-fusion run (K requests over one tree at different memory bounds,
+// fused through PlanService::plan_fused vs K independent computes,
+// bit-identity enforced).
+//
+// Writes bench_service_throughput.csv (one row per cell),
+// bench_service_server.csv (one row per server metric) and
 // bench_service_throughput.json (summary; the committed baseline lives at
 // the repository root as BENCH_service.json). Acceptance:
 //   * throughput — 8-thread vs 1-thread speedup on the 0%-hit mix. The
@@ -20,16 +30,28 @@
 //   * latency — on the 1-thread 90%-hit mix, mean cache-served latency
 //     must undercut mean compute latency by >= 99%.
 //   * differential — cached vs recomputed must match exactly (exit 1).
+//   * overload — queue peak <= the admission bound, excess load shed as
+//     ok=false (shed > 0), counters conserve (submitted == admitted+shed).
+//   * fairness — no tenant below its DRR quota floor: the smallest
+//     tenant's k-th dispatch lands within (rounds-per-request * k + slack)
+//     of the backlog start.
+//   * fusion — fused responses bit-identical to independent computes, and
+//     the OptMinMem K-bound batch >= 1.5x faster than K independents
+//     (the schedule is memory-independent, so fusion shares it; RecExpand
+//     shares only the bottom-up peaks pass and is recorded, not gated).
 //
 // Scales: --scale quick (CI smoke) | default (baseline) | paper.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "experiment.hpp"
+#include "src/server/plan_server.hpp"
 #include "src/service/plan_service.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/stopwatch.hpp"
@@ -82,6 +104,223 @@ std::vector<service::PlanRequest> build_mix(std::size_t requests, std::size_t un
     mix.push_back(request);
   }
   return mix;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double index = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// A deliberately expensive request that keeps the server's single worker
+/// busy while a run stages its backlog behind it.
+service::PlanRequest plug_request() {
+  service::PlanRequest request;
+  request.id = -1;
+  request.tenant = "plug";
+  request.nodes = 60000;
+  request.seed = 4242;
+  request.memory_lb = 1.02;
+  request.strategy = core::Strategy::kFullRecExpand;
+  return request;
+}
+
+struct OverloadResult {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::size_t queue_peak = 0;
+  std::size_t depth = 0;
+  double seconds = 0.0;
+  double shed_rate = 0.0;
+  bool conserved = false;
+  bool bounded = false;
+  bool pass = false;
+};
+
+/// Offered load far beyond one worker's capacity against a small bounded
+/// admission queue: the bound must hold and the excess must shed cleanly.
+OverloadResult run_overload(std::size_t offered, std::size_t nodes) {
+  server::ServerConfig config;
+  config.service = service::ServiceConfig{.threads = 1, .cache_capacity = 0, .coalesce = false};
+  config.workers = 1;
+  config.admission.depth = 16;
+  config.fuse = false;
+
+  OverloadResult result;
+  result.depth = config.admission.depth;
+  server::PlanServer srv(config);
+  util::Stopwatch wall;
+  std::vector<std::future<server::ServerResponse>> futures;
+  futures.reserve(offered);
+  for (std::size_t k = 0; k < offered; ++k) {
+    service::PlanRequest request;
+    request.id = static_cast<std::int64_t>(k) + 1;
+    request.tenant = "tenant-" + std::to_string(k % 4);
+    request.nodes = nodes;
+    request.seed = 920000u + static_cast<std::uint64_t>(k);  // all unique: no cache relief
+    request.memory_lb = 1.1;
+    futures.push_back(srv.submit(std::move(request)));
+  }
+  srv.drain();
+  result.seconds = wall.seconds();
+
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  for (auto& future : futures) {
+    const server::ServerResponse response = future.get();
+    if (response.shed) {
+      ++shed;
+    } else if (response.plan.stats->ok) {
+      ++ok;
+    }
+  }
+  const server::ServerStats stats = srv.stats();
+  result.offered = offered;
+  result.admitted = stats.admission.admitted;
+  result.shed = stats.admission.shed();
+  result.queue_peak = stats.admission.peak;
+  result.shed_rate = static_cast<double>(shed) / static_cast<double>(offered);
+  result.conserved = stats.admission.submitted == stats.admission.admitted + stats.admission.shed() &&
+                     ok == stats.admission.admitted && ok + shed == offered;
+  result.bounded = stats.admission.peak <= config.admission.depth;
+  result.pass = result.conserved && result.bounded && result.shed > 0;
+  return result;
+}
+
+struct TenantLatency {
+  std::string tenant;
+  std::size_t requests = 0;
+  double weight = 1.0;
+  double p50_ms = 0.0;  ///< admission-to-dispatch wait
+  double p99_ms = 0.0;
+};
+
+struct FairnessResult {
+  std::vector<TenantLatency> tenants;
+  double seconds = 0.0;
+  std::uint64_t floor_violations = 0;  ///< smallest tenant dispatches past its quota window
+  bool pass = false;
+};
+
+/// Three tenants with 2:1:1 weights backlogged behind a plug on a single
+/// worker. DRR serves 4 requests per round (alpha 2, beta 1, gamma 1), so
+/// the smallest tenant's k-th request must dispatch within ~4k slots.
+FairnessResult run_fairness(std::size_t per_unit, std::size_t nodes) {
+  server::ServerConfig config;
+  config.service = service::ServiceConfig{.threads = 1};
+  config.workers = 1;
+  config.fuse = false;
+  config.weights = {{"alpha", 2.0}, {"beta", 1.0}, {"gamma", 1.0}};
+
+  struct TenantPlan {
+    const char* name;
+    double weight;
+    std::size_t count;
+  };
+  const TenantPlan plan[] = {
+      {"alpha", 2.0, 2 * per_unit}, {"beta", 1.0, per_unit}, {"gamma", 1.0, per_unit}};
+
+  server::PlanServer srv(config);
+  util::Stopwatch wall;
+  auto plug = srv.submit(plug_request());
+  while (srv.stats().dispatched < 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::map<std::string, std::vector<std::future<server::ServerResponse>>> futures;
+  std::int64_t id = 0;
+  for (const TenantPlan& tenant : plan)
+    for (std::size_t k = 0; k < tenant.count; ++k) {
+      service::PlanRequest request;
+      request.id = ++id;
+      request.tenant = tenant.name;
+      request.nodes = nodes;
+      request.seed = 930000u + static_cast<std::uint64_t>(id);
+      request.memory_lb = 1.1;
+      futures[tenant.name].push_back(srv.submit(std::move(request)));
+    }
+  srv.drain();
+  (void)plug.get();
+
+  FairnessResult result;
+  result.seconds = wall.seconds();
+  std::vector<std::uint64_t> gamma_seqs;
+  for (const TenantPlan& tenant : plan) {
+    std::vector<double> waits;
+    for (auto& future : futures[tenant.name]) {
+      const server::ServerResponse response = future.get();
+      waits.push_back(response.wait_seconds * 1e3);
+      if (std::string(tenant.name) == "gamma") gamma_seqs.push_back(response.dispatch_seq);
+    }
+    TenantLatency latency;
+    latency.tenant = tenant.name;
+    latency.requests = tenant.count;
+    latency.weight = tenant.weight;
+    latency.p50_ms = percentile(waits, 0.5);
+    latency.p99_ms = percentile(waits, 0.99);
+    result.tenants.push_back(latency);
+  }
+  // Quota floor: gamma earns 1 dispatch per 4-request DRR round, so its
+  // k-th dispatch (1-based) must land within 4k + slack of the start
+  // (slack covers the plug and dispatches that slip in mid-staging).
+  std::sort(gamma_seqs.begin(), gamma_seqs.end());
+  for (std::size_t k = 0; k < gamma_seqs.size(); ++k)
+    if (gamma_seqs[k] > 4 * (k + 1) + 8) ++result.floor_violations;
+  result.pass = result.floor_violations == 0;
+  return result;
+}
+
+struct FusionRow {
+  const char* strategy = "";
+  std::size_t batch = 0;
+  double independent_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+/// K requests over one tree at K memory bounds: plan_fused vs K
+/// independent computes, both on cache-disabled services.
+FusionRow run_fusion(core::Strategy strategy, const char* name, std::size_t bounds,
+                     std::size_t nodes) {
+  std::vector<service::PlanRequest> batch;
+  for (std::size_t k = 0; k < bounds; ++k) {
+    service::PlanRequest request;
+    request.id = static_cast<std::int64_t>(k) + 1;
+    request.nodes = nodes;
+    request.seed = 940001;  // one tree across the whole batch
+    request.memory_lb = 1.05 + 0.1 * static_cast<double>(k);
+    request.strategy = strategy;
+    batch.push_back(request);
+  }
+
+  FusionRow row;
+  row.strategy = name;
+  row.batch = bounds;
+  const service::ServiceConfig raw{.threads = 1, .cache_capacity = 0, .coalesce = false};
+
+  service::PlanService independent(raw);
+  util::Stopwatch independent_wall;
+  std::vector<service::PlanResponse> truth;
+  truth.reserve(bounds);
+  for (const service::PlanRequest& request : batch) truth.push_back(independent.plan(request));
+  row.independent_seconds = independent_wall.seconds();
+
+  service::PlanService fused_service(raw);
+  util::Stopwatch fused_wall;
+  const std::vector<service::PlanResponse> fused = fused_service.plan_fused(batch);
+  row.fused_seconds = fused_wall.seconds();
+
+  row.identical = fused.size() == truth.size();
+  for (std::size_t k = 0; row.identical && k < fused.size(); ++k)
+    row.identical = fused[k].stats->ok && truth[k].stats->ok &&
+                    service::identical(*fused[k].stats, *truth[k].stats);
+  row.speedup = row.fused_seconds > 0 ? row.independent_seconds / row.fused_seconds : 0.0;
+  return row;
 }
 
 }  // namespace
@@ -225,6 +464,58 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", differential_ok ? "identical" : "FAILED");
 
+  // ---- server block: overload, fairness, fusion --------------------------
+  std::printf("\n== multi-tenant server: overload / fairness / fusion ==\n");
+  const std::size_t overload_offered = scale == bench::Scale::kQuick ? 80 : 240;
+  const std::size_t overload_nodes = scale == bench::Scale::kQuick ? 200 : 400;
+  const OverloadResult overload = run_overload(overload_offered, overload_nodes);
+  std::printf("overload: offered=%llu admitted=%llu shed=%llu (%.0f%%)  queue peak %zu/%zu  %s\n",
+              (unsigned long long)overload.offered, (unsigned long long)overload.admitted,
+              (unsigned long long)overload.shed, overload.shed_rate * 100.0, overload.queue_peak,
+              overload.depth, overload.pass ? "PASS" : "FAIL");
+
+  const std::size_t fairness_unit = scale == bench::Scale::kQuick ? 10 : 30;
+  const FairnessResult fairness = run_fairness(fairness_unit, /*nodes=*/80);
+  for (const TenantLatency& tenant : fairness.tenants)
+    std::printf("fairness: %-6s weight %.0f  %3zu requests  wait p50 %8.2f ms  p99 %8.2f ms\n",
+                tenant.tenant.c_str(), tenant.weight, tenant.requests, tenant.p50_ms,
+                tenant.p99_ms);
+  std::printf("fairness: quota floor (gamma within 4k+8 dispatches) — %s\n",
+              fairness.pass ? "PASS" : "FAIL");
+
+  const std::size_t fusion_bounds = 12;
+  const std::size_t fusion_nodes = scale == bench::Scale::kQuick ? 2000 : 8000;
+  const FusionRow fusion_rows[] = {
+      run_fusion(core::Strategy::kOptMinMem, "optminmem", fusion_bounds, fusion_nodes),
+      run_fusion(core::Strategy::kRecExpand, "recexpand", fusion_bounds, fusion_nodes)};
+  for (const FusionRow& row : fusion_rows)
+    std::printf("fusion:   %-9s K=%zu  independent %.3fs  fused %.3fs  %.2fx  %s\n", row.strategy,
+                row.batch, row.independent_seconds, row.fused_seconds, row.speedup,
+                row.identical ? "identical" : "MISMATCH");
+  const bool fusion_identical = fusion_rows[0].identical && fusion_rows[1].identical;
+  const bool fusion_pass = fusion_identical && fusion_rows[0].speedup >= 1.5;
+
+  {
+    util::CsvWriter server_csv("bench_service_server.csv",
+                               {"section", "label", "requests", "admitted", "shed", "queue_peak",
+                                "p50_wait_ms", "p99_wait_ms", "seconds", "speedup", "pass"});
+    server_csv.row({"overload", "shed-policy", static_cast<std::int64_t>(overload.offered),
+                    static_cast<std::int64_t>(overload.admitted),
+                    static_cast<std::int64_t>(overload.shed),
+                    static_cast<std::int64_t>(overload.queue_peak), 0.0, 0.0, overload.seconds,
+                    0.0, static_cast<std::int64_t>(overload.pass ? 1 : 0)});
+    for (const TenantLatency& tenant : fairness.tenants)
+      server_csv.row({"fairness", tenant.tenant, static_cast<std::int64_t>(tenant.requests),
+                      static_cast<std::int64_t>(tenant.requests), std::int64_t{0}, std::int64_t{0},
+                      tenant.p50_ms, tenant.p99_ms, fairness.seconds, 0.0,
+                      static_cast<std::int64_t>(fairness.pass ? 1 : 0)});
+    for (const FusionRow& row : fusion_rows)
+      server_csv.row({"fusion", row.strategy, static_cast<std::int64_t>(row.batch),
+                      static_cast<std::int64_t>(row.batch), std::int64_t{0}, std::int64_t{0}, 0.0,
+                      0.0, row.fused_seconds, row.speedup,
+                      static_cast<std::int64_t>(row.identical ? 1 : 0)});
+  }
+
   // Acceptance numbers.
   const auto cell_at = [&](std::size_t threads, double hit) -> const Cell* {
     for (const Cell& c : cells)
@@ -270,15 +561,56 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json, "  ],\n");
   std::fprintf(json,
+               "  \"server\": {\n"
+               "    \"overload\": {\"offered\": %llu, \"admitted\": %llu, \"shed\": %llu, "
+               "\"shed_rate\": %.3f, \"queue_peak\": %zu, \"queue_depth_bound\": %zu, "
+               "\"seconds\": %.4f},\n",
+               (unsigned long long)overload.offered, (unsigned long long)overload.admitted,
+               (unsigned long long)overload.shed, overload.shed_rate, overload.queue_peak,
+               overload.depth, overload.seconds);
+  std::fprintf(json, "    \"fairness\": {\"tenants\": [\n");
+  for (std::size_t k = 0; k < fairness.tenants.size(); ++k) {
+    const TenantLatency& tenant = fairness.tenants[k];
+    std::fprintf(json,
+                 "      {\"tenant\": \"%s\", \"weight\": %.1f, \"requests\": %zu, "
+                 "\"p50_wait_ms\": %.3f, \"p99_wait_ms\": %.3f}%s\n",
+                 tenant.tenant.c_str(), tenant.weight, tenant.requests, tenant.p50_ms,
+                 tenant.p99_ms, k + 1 < fairness.tenants.size() ? "," : "");
+  }
+  std::fprintf(json, "    ], \"floor_violations\": %llu},\n",
+               (unsigned long long)fairness.floor_violations);
+  std::fprintf(json, "    \"fusion\": [\n");
+  for (std::size_t k = 0; k < std::size(fusion_rows); ++k) {
+    const FusionRow& row = fusion_rows[k];
+    std::fprintf(json,
+                 "      {\"strategy\": \"%s\", \"batch\": %zu, \"nodes\": %zu, "
+                 "\"independent_seconds\": %.4f, \"fused_seconds\": %.4f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 row.strategy, row.batch, fusion_nodes, row.independent_seconds, row.fused_seconds,
+                 row.speedup, row.identical ? "true" : "false",
+                 k + 1 < std::size(fusion_rows) ? "," : "");
+  }
+  std::fprintf(json, "    ]\n  },\n");
+  std::fprintf(json,
                "  \"acceptance\": {\n"
                "    \"throughput\": {\"mix\": \"0%%-hit\", \"speedup_8v1\": %.3f, "
                "\"cores\": %zu, \"threshold_effective\": %.3f, \"target_8core\": 4.0, "
                "\"pass\": %s},\n"
                "    \"latency\": {\"mix\": \"90%%-hit, 1 thread\", \"reduction\": %.5f, "
                "\"threshold\": 0.99, \"pass\": %s},\n"
-               "    \"differential\": {\"pass\": %s}\n  }\n}\n",
+               "    \"differential\": {\"pass\": %s},\n"
+               "    \"overload\": {\"queue_bounded\": %s, \"conserved\": %s, \"shed\": %llu, "
+               "\"pass\": %s},\n"
+               "    \"fairness\": {\"floor_violations\": %llu, \"pass\": %s},\n"
+               "    \"fusion\": {\"identical\": %s, \"optminmem_speedup\": %.3f, "
+               "\"threshold\": 1.5, \"recexpand_speedup\": %.3f, \"pass\": %s}\n  }\n}\n",
                speedup, cores, threshold, throughput_pass ? "true" : "false", latency_reduction,
-               latency_pass ? "true" : "false", differential_ok ? "true" : "false");
+               latency_pass ? "true" : "false", differential_ok ? "true" : "false",
+               overload.bounded ? "true" : "false", overload.conserved ? "true" : "false",
+               (unsigned long long)overload.shed, overload.pass ? "true" : "false",
+               (unsigned long long)fairness.floor_violations, fairness.pass ? "true" : "false",
+               fusion_identical ? "true" : "false", fusion_rows[0].speedup,
+               fusion_rows[1].speedup, fusion_pass ? "true" : "false");
   std::fclose(json);
 
   std::printf("\nacceptance:\n");
@@ -288,9 +620,19 @@ int main(int argc, char** argv) {
   std::printf("  latency 90%%-hit:   %.2f%% cache-served reduction (threshold 99%%) — %s\n",
               latency_reduction * 100.0, latency_pass ? "PASS" : "FAIL");
   std::printf("  differential:      %s\n", differential_ok ? "PASS" : "FAIL");
-  std::printf("results written to bench_service_throughput.csv and "
-              "bench_service_throughput.json\n");
+  std::printf("  overload:          queue peak %zu <= %zu, %llu shed, conserved — %s\n",
+              overload.queue_peak, overload.depth, (unsigned long long)overload.shed,
+              overload.pass ? "PASS" : "FAIL");
+  std::printf("  fairness:          %llu quota-floor violations — %s\n",
+              (unsigned long long)fairness.floor_violations, fairness.pass ? "PASS" : "FAIL");
+  std::printf("  fusion:            identical %s, optminmem %.2fx (threshold 1.5x), "
+              "recexpand %.2fx — %s\n",
+              fusion_identical ? "yes" : "NO", fusion_rows[0].speedup, fusion_rows[1].speedup,
+              fusion_pass ? "PASS" : "FAIL");
+  std::printf("results written to bench_service_throughput.csv, bench_service_server.csv "
+              "and bench_service_throughput.json\n");
   std::printf("(to refresh the committed baseline: cp bench_service_throughput.json "
               "<repo>/BENCH_service.json)\n");
-  return differential_ok ? 0 : 1;
+  const bool hard_gates = differential_ok && overload.pass && fairness.pass && fusion_identical;
+  return hard_gates ? 0 : 1;
 }

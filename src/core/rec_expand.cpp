@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 
 #include "src/core/minmem_optimal.hpp"
 
@@ -132,6 +133,17 @@ NodeId select_victim(const Tree& tree, const RecExpandOptions& options,
 }  // namespace
 
 RecExpandResult rec_expand(const Tree& tree, Weight memory, const RecExpandOptions& options) {
+  // Exact optimal peaks of every original subtree, one bottom-up pass.
+  // Peaks are monotone along the tree, so a subtree whose peak fits in
+  // memory contains no expansion work anywhere below it either, and its
+  // expanded counterpart is untouched — skip it without running anything.
+  return rec_expand(tree, memory, options, opt_minmem_all_peaks(tree));
+}
+
+RecExpandResult rec_expand(const Tree& tree, Weight memory, const RecExpandOptions& options,
+                           const std::vector<Weight>& orig_peak) {
+  if (orig_peak.size() != tree.size())
+    throw std::invalid_argument("rec_expand: orig_peaks size does not match the tree");
   RecExpandResult result;
 
   ExpandedTree expanded = ExpandedTree::identity(tree);
@@ -140,12 +152,6 @@ RecExpandResult rec_expand(const Tree& tree, Weight memory, const RecExpandOptio
   // counterpart of the original subtree rooted at r is rooted there.
   std::vector<NodeId> top_rep(tree.size());
   for (std::size_t k = 0; k < tree.size(); ++k) top_rep[k] = static_cast<NodeId>(k);
-
-  // Exact optimal peaks of every original subtree, one bottom-up pass.
-  // Peaks are monotone along the tree, so a subtree whose peak fits in
-  // memory contains no expansion work anywhere below it either, and its
-  // expanded counterpart is untouched — skip it without running anything.
-  const std::vector<Weight> orig_peak = opt_minmem_all_peaks(tree);
 
   IncrementalMinMem engine;
   engine.reserve(tree.size());

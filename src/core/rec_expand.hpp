@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "src/core/expansion.hpp"
 #include "src/core/fif_simulator.hpp"
@@ -72,6 +73,17 @@ struct RecExpandResult {
 /// rec_expand_reference (enforced by test_expansion_incremental.cpp).
 [[nodiscard]] RecExpandResult rec_expand(const Tree& tree, Weight memory,
                                          const RecExpandOptions& options);
+
+/// Same heuristic with the memory-independent subtree peaks precomputed by
+/// the caller. `orig_peaks` must be exactly opt_minmem_all_peaks(tree) —
+/// the overload exists so a batch of runs over one tree at different
+/// memory bounds (service-layer fusion) shares that bottom-up pass; passing
+/// anything else silently changes which subtrees are skipped. Throws
+/// std::invalid_argument when the size does not match the tree. The 3-arg
+/// overload delegates here, so results are identical by construction.
+[[nodiscard]] RecExpandResult rec_expand(const Tree& tree, Weight memory,
+                                         const RecExpandOptions& options,
+                                         const std::vector<Weight>& orig_peaks);
 
 /// The pre-incremental implementation: per iteration, extracts the subtree
 /// as a standalone Tree, reruns OptMinMem from scratch and rebuilds the

@@ -1,0 +1,121 @@
+#include "src/server/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/util/text.hpp"
+
+namespace ooctree::server {
+
+std::string overload_policy_name(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kBlock: return "block";
+  }
+  throw std::invalid_argument("overload_policy_name: unknown policy");
+}
+
+OverloadPolicy overload_policy_from_name(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "shed" || s == "reject") return OverloadPolicy::kShed;
+  if (s == "block" || s == "wait") return OverloadPolicy::kBlock;
+  throw std::invalid_argument("unknown overload policy '" + name + "' (shed | block)");
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  if (config_.depth == 0)
+    throw std::invalid_argument("AdmissionQueue: depth must be >= 1");
+  if (config_.block_timeout_ms < 0)
+    throw std::invalid_argument("AdmissionQueue: block_timeout_ms must be >= 0");
+  if (config_.high_watermark == 0) config_.high_watermark = std::max<std::size_t>(1, 3 * config_.depth / 4);
+  if (config_.low_watermark == 0) config_.low_watermark = config_.depth / 2;
+  if (config_.high_watermark > config_.depth)
+    throw std::invalid_argument("AdmissionQueue: high_watermark must be <= depth");
+  if (config_.low_watermark > config_.high_watermark)
+    throw std::invalid_argument("AdmissionQueue: low_watermark must be <= high_watermark");
+}
+
+void AdmissionQueue::update_overload() {
+  if (!overloaded_ && depth_ >= config_.high_watermark) {
+    overloaded_ = true;
+    ++overload_entries_;
+  } else if (overloaded_ && depth_ <= config_.low_watermark) {
+    overloaded_ = false;
+  }
+}
+
+Admission AdmissionQueue::acquire() {
+  std::unique_lock lock(mutex_);
+  ++submitted_;
+  if (closed_) {
+    ++shed_closed_;
+    return Admission::kShedClosed;
+  }
+  if (depth_ >= config_.depth) {
+    if (config_.policy == OverloadPolicy::kShed) {
+      ++shed_full_;
+      return Admission::kShedFull;
+    }
+    ++blocked_;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double, std::milli>(config_.block_timeout_ms));
+    slot_cv_.wait_until(lock, deadline,
+                        [this] { return closed_ || depth_ < config_.depth; });
+    if (closed_) {
+      ++shed_closed_;
+      return Admission::kShedClosed;
+    }
+    if (depth_ >= config_.depth) {
+      ++shed_timeout_;
+      return Admission::kShedTimeout;
+    }
+  }
+  ++depth_;
+  ++admitted_;
+  peak_ = std::max(peak_, depth_);
+  update_overload();
+  return Admission::kAdmitted;
+}
+
+void AdmissionQueue::release(std::size_t n) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (n > depth_) throw std::logic_error("AdmissionQueue::release: more slots than acquired");
+    depth_ -= n;
+    update_overload();
+  }
+  slot_cv_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  slot_cv_.notify_all();
+}
+
+bool AdmissionQueue::overloaded() const {
+  const std::lock_guard lock(mutex_);
+  return overloaded_;
+}
+
+AdmissionCounters AdmissionQueue::counters() const {
+  const std::lock_guard lock(mutex_);
+  AdmissionCounters out;
+  out.submitted = submitted_;
+  out.admitted = admitted_;
+  out.shed_full = shed_full_;
+  out.shed_timeout = shed_timeout_;
+  out.shed_closed = shed_closed_;
+  out.blocked = blocked_;
+  out.overload_entries = overload_entries_;
+  out.depth = depth_;
+  out.peak = peak_;
+  out.overloaded = overloaded_;
+  return out;
+}
+
+}  // namespace ooctree::server

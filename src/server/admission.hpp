@@ -1,0 +1,117 @@
+// Bounded admission control for the multi-tenant plan server.
+//
+// Every request entering the server first acquires an admission slot; the
+// slot is released when the request is dispatched to a compute worker. The
+// number of outstanding slots — requests admitted but not yet dispatched,
+// i.e. the server's queue depth — can never exceed the configured bound,
+// so offered load beyond capacity is *shed* (acquire returns a non-admitted
+// verdict and the caller answers ok=false) or *blocked* (acquire waits up
+// to a deadline for a slot, then sheds), never queued without limit. This
+// is the "degrade instead of OOM" contract the overload tests and the
+// overload rows of bench_service_throughput pin.
+//
+// High/low watermarks add hysteresis for observability and load shedding
+// upstream: crossing the high watermark marks the queue overloaded, and it
+// stays overloaded until depth falls back to the low watermark — a caller
+// polling overloaded() sees a stable signal instead of flapping around one
+// threshold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace ooctree::server {
+
+/// What acquire() does when the queue is at capacity.
+enum class OverloadPolicy : std::uint8_t {
+  kShed,   ///< reject immediately (the caller responds ok=false)
+  kBlock,  ///< wait up to block_timeout_ms for a slot, then shed
+};
+
+[[nodiscard]] std::string overload_policy_name(OverloadPolicy p);
+[[nodiscard]] OverloadPolicy overload_policy_from_name(const std::string& name);
+
+/// Admission knobs. Watermarks of 0 pick the defaults 3·depth/4 (high) and
+/// depth/2 (low); explicit values must satisfy low <= high <= depth.
+struct AdmissionConfig {
+  std::size_t depth = 256;  ///< max outstanding slots; must be >= 1
+  OverloadPolicy policy = OverloadPolicy::kShed;
+  double block_timeout_ms = 100.0;  ///< kBlock: max wait for a slot
+  std::size_t high_watermark = 0;   ///< depth at which overloaded() turns on
+  std::size_t low_watermark = 0;    ///< depth at which overloaded() turns off
+};
+
+/// Verdict of one acquire().
+enum class Admission : std::uint8_t {
+  kAdmitted,
+  kShedFull,     ///< kShed policy, queue at capacity
+  kShedTimeout,  ///< kBlock policy, no slot freed before the deadline
+  kShedClosed,   ///< queue closed (server shutting down)
+};
+
+/// Monotonic counters plus a depth snapshot. submitted == admitted + shed()
+/// at every instant — the conservation law the overload storm test pins.
+struct AdmissionCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_full = 0;
+  std::uint64_t shed_timeout = 0;
+  std::uint64_t shed_closed = 0;
+  std::uint64_t blocked = 0;           ///< acquires that had to wait (kBlock)
+  std::uint64_t overload_entries = 0;  ///< high-watermark crossings
+  std::size_t depth = 0;               ///< outstanding slots right now
+  std::size_t peak = 0;                ///< max outstanding slots ever
+  bool overloaded = false;
+
+  [[nodiscard]] std::uint64_t shed() const { return shed_full + shed_timeout + shed_closed; }
+};
+
+/// Thread-safe bounded slot counter with watermark hysteresis.
+class AdmissionQueue {
+ public:
+  /// Throws std::invalid_argument on depth == 0, negative timeout, or
+  /// inconsistent watermarks.
+  explicit AdmissionQueue(AdmissionConfig config = {});
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Acquires one slot, applying the overload policy at capacity. Never
+  /// throws on overload — the verdict says what happened.
+  [[nodiscard]] Admission acquire();
+
+  /// Releases `n` slots (a fused dispatch releases its whole group at once)
+  /// and wakes blocked acquirers.
+  void release(std::size_t n = 1);
+
+  /// Further acquires shed as kShedClosed; blocked waiters wake and shed.
+  void close();
+
+  [[nodiscard]] bool overloaded() const;
+  [[nodiscard]] AdmissionCounters counters() const;
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  /// Watermark hysteresis after every depth change; caller holds mutex_.
+  void update_overload();
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_cv_;
+  std::size_t depth_ = 0;
+  std::size_t peak_ = 0;
+  bool overloaded_ = false;
+  bool closed_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_full_ = 0;
+  std::uint64_t shed_timeout_ = 0;
+  std::uint64_t shed_closed_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t overload_entries_ = 0;
+};
+
+}  // namespace ooctree::server

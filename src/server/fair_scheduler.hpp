@@ -1,0 +1,217 @@
+// Weighted deficit-round-robin scheduler over per-tenant FIFO queues.
+//
+// Every tenant owns one queue; pop() visits tenants round-robin, crediting
+// each visited tenant's deficit counter with its weight and serving the
+// queue head once the deficit reaches one request. Over any busy interval
+// two backlogged tenants are therefore served in proportion to their
+// weights (classic DRR with quantum = weight requests per round), and a
+// tenant's deficit resets when its queue empties, so credit never banks up
+// while idle — a hot tenant cannot starve the rest, and a returning tenant
+// cannot burst past its share. That is the quota-floor guarantee the
+// fairness tests and the fairness rows of bench_service_throughput pin.
+//
+// Per-tenant in-flight caps bound concurrency: a tenant with `inflight_cap`
+// dispatches outstanding is skipped by pop() until one completes
+// (end_inflight). extract_if — the server's batch-fusion hook, pulling
+// queued requests that fuse with a dispatch already paid for — is exempt
+// from both the deficit and the cap: a fused rider consumes no extra
+// compute, so charging it against the tenant's share would punish exactly
+// the requests that are cheapest to serve.
+//
+// NOT thread-safe: the owner (PlanServer) holds its own mutex around every
+// call. Header-only template so the unit tests exercise it with T = int.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ooctree::server {
+
+/// Per-tenant accounting snapshot (name-sorted in counters()).
+struct TenantCounters {
+  std::string tenant;
+  std::uint64_t pushed = 0;
+  std::uint64_t served = 0;  ///< popped + extracted
+  std::size_t queued = 0;
+  std::size_t inflight = 0;
+  double weight = 1.0;
+};
+
+template <typename T>
+class FairScheduler {
+ public:
+  /// `inflight_cap` 0 = unlimited. Weights must be > 0.
+  explicit FairScheduler(double default_weight = 1.0, std::size_t inflight_cap = 0)
+      : default_weight_(default_weight), inflight_cap_(inflight_cap) {
+    if (default_weight <= 0)
+      throw std::invalid_argument("FairScheduler: default weight must be > 0");
+  }
+
+  void set_weight(const std::string& tenant, double weight) {
+    if (weight <= 0) throw std::invalid_argument("FairScheduler: weight must be > 0");
+    tenant_state(tenant).weight = weight;
+  }
+
+  void push(const std::string& tenant, T item) {
+    Tenant& t = tenant_state(tenant);
+    t.queue.push_back(std::move(item));
+    ++t.pushed;
+    ++queued_;
+  }
+
+  /// DRR dispatch: returns (tenant, item) and counts it served + in flight
+  /// for that tenant, or nullopt when no tenant is eligible (everything
+  /// empty or capped). Arriving at a tenant credits its deficit with its
+  /// weight exactly once per visit; the cursor then *stays* on the tenant
+  /// while it has a full request of credit left, so a weight-3 tenant
+  /// serves three requests per round to a weight-1 tenant's one.
+  /// Terminates because each full ring pass credits every eligible tenant
+  /// weight > 0.
+  [[nodiscard]] std::optional<std::pair<std::string, T>> pop() {
+    if (!eligible()) return std::nullopt;
+    for (;;) {
+      const std::string& name = ring_[cursor_];
+      Tenant& t = tenants_.at(name);
+      if (!t.queue.empty() && under_cap(t)) {
+        if (!credited_) {
+          t.deficit += t.weight;
+          credited_ = true;
+        }
+        if (t.deficit >= 1.0) {
+          t.deficit -= 1.0;
+          T item = std::move(t.queue.front());
+          t.queue.pop_front();
+          --queued_;
+          ++t.served;
+          ++t.inflight;
+          std::pair<std::string, T> out{name, std::move(item)};
+          if (t.queue.empty()) {
+            // Idle tenants bank no credit; a served-empty tenant restarts
+            // from zero when it next queues.
+            t.deficit = 0.0;
+            advance();
+          } else if (t.deficit < 1.0) {
+            advance();  // credit spent — next visit re-earns it
+          }
+          return out;
+        }
+      }
+      advance();
+    }
+  }
+
+  /// Pulls up to `limit` queued items satisfying pred (ring order, then
+  /// queue order), counting them served + in flight but charging no
+  /// deficit and ignoring caps — the batch-fusion rider path.
+  template <typename Pred>
+  [[nodiscard]] std::vector<std::pair<std::string, T>> extract_if(const Pred& pred,
+                                                                  std::size_t limit) {
+    std::vector<std::pair<std::string, T>> out;
+    for (const std::string& name : ring_) {
+      if (out.size() >= limit) break;
+      Tenant& t = tenants_.at(name);
+      for (auto it = t.queue.begin(); it != t.queue.end() && out.size() < limit;) {
+        if (pred(*it)) {
+          out.emplace_back(name, std::move(*it));
+          it = t.queue.erase(it);
+          --queued_;
+          ++t.served;
+          ++t.inflight;
+        } else {
+          ++it;
+        }
+      }
+      if (t.queue.empty()) t.deficit = 0.0;
+    }
+    return out;
+  }
+
+  /// Marks one of `tenant`'s dispatches complete, freeing cap room.
+  void end_inflight(const std::string& tenant) {
+    Tenant& t = tenant_state(tenant);
+    if (t.inflight == 0)
+      throw std::logic_error("FairScheduler: end_inflight without a dispatch in flight");
+    --t.inflight;
+  }
+
+  /// True when pop() can dispatch something: a tenant with queued work and
+  /// spare in-flight room exists.
+  [[nodiscard]] bool eligible() const {
+    if (queued_ == 0) return false;
+    for (const auto& [name, t] : tenants_)
+      if (!t.queue.empty() && under_cap(t)) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t queued() const { return queued_; }
+
+  [[nodiscard]] std::size_t inflight() const {
+    std::size_t n = 0;
+    for (const auto& [name, t] : tenants_) n += t.inflight;
+    return n;
+  }
+
+  [[nodiscard]] std::vector<TenantCounters> counters() const {
+    std::vector<TenantCounters> out;
+    out.reserve(ring_.size());
+    for (const auto& [name, t] : tenants_) {
+      TenantCounters c;
+      c.tenant = name;
+      c.pushed = t.pushed;
+      c.served = t.served;
+      c.queued = t.queue.size();
+      c.inflight = t.inflight;
+      c.weight = t.weight;
+      out.push_back(std::move(c));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TenantCounters& a, const TenantCounters& b) { return a.tenant < b.tenant; });
+    return out;
+  }
+
+ private:
+  struct Tenant {
+    std::deque<T> queue;
+    double weight = 1.0;
+    double deficit = 0.0;
+    std::uint64_t pushed = 0;
+    std::uint64_t served = 0;
+    std::size_t inflight = 0;
+  };
+
+  [[nodiscard]] bool under_cap(const Tenant& t) const {
+    return inflight_cap_ == 0 || t.inflight < inflight_cap_;
+  }
+
+  Tenant& tenant_state(const std::string& tenant) {
+    const auto [it, inserted] = tenants_.try_emplace(tenant);
+    if (inserted) {
+      it->second.weight = default_weight_;
+      ring_.push_back(tenant);
+    }
+    return it->second;
+  }
+
+  void advance() {
+    cursor_ = (cursor_ + 1) % ring_.size();
+    credited_ = false;
+  }
+
+  std::unordered_map<std::string, Tenant> tenants_;
+  std::vector<std::string> ring_;  ///< round-robin visit order (first-seen)
+  std::size_t cursor_ = 0;
+  bool credited_ = false;  ///< cursor tenant already earned this visit's credit
+  double default_weight_;
+  std::size_t inflight_cap_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace ooctree::server

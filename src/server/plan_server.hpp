@@ -1,0 +1,136 @@
+// PlanServer — the multi-tenant streaming front-end over PlanService.
+//
+// Data flow: submit() → AdmissionQueue (bounded; overload sheds ok=false
+// or blocks to a deadline, never queues without limit) → FairScheduler
+// (weighted deficit-round-robin across tenant queues, per-tenant in-flight
+// caps) → dispatch workers, which pop one request, *fuse* every queued
+// request materializing the same tree (tree_identity) into the dispatch up
+// to fuse_limit, and serve the group through PlanService::plan /
+// plan_fused — so the service's cache/coalescing layers and the fused
+// shared-planning path both apply, and fused responses stay bit-identical
+// to independent computes.
+//
+// Shutdown is drain-then-stop, mirroring util::ThreadPool: the destructor
+// closes admission (new submits shed as kShedClosed), lets the workers
+// drain every admitted request, then joins. Every future handed out by
+// submit() therefore always resolves — shed requests resolve immediately
+// with Served::kShed and ok=false, admitted ones with their plan.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/admission.hpp"
+#include "src/server/fair_scheduler.hpp"
+#include "src/service/plan_service.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace ooctree::server {
+
+/// One tenant's scheduling weight (relative share of dispatches).
+struct TenantWeight {
+  std::string tenant;
+  double weight = 1.0;
+};
+
+/// Server knobs. The server drives the service synchronously from its own
+/// dispatch workers, so `service.threads` is forced to 1 when left at 0
+/// (the service pool only serves direct submit() calls, not the server).
+struct ServerConfig {
+  service::ServiceConfig service;
+  std::size_t workers = 1;  ///< dispatch threads; 0 = 1
+  AdmissionConfig admission;
+  double default_weight = 1.0;
+  std::vector<TenantWeight> weights;
+  std::size_t tenant_inflight_cap = 0;  ///< max concurrent dispatches/tenant; 0 = unlimited
+  bool fuse = true;
+  std::size_t fuse_limit = 16;  ///< max requests per fused dispatch (>= 1)
+};
+
+/// One answer, wrapping the service response with server-side metadata.
+struct ServerResponse {
+  service::PlanResponse plan;
+  std::string tenant;
+  bool shed = false;              ///< rejected by admission (plan.stats ok=false)
+  std::uint64_t dispatch_seq = 0; ///< 1-based global dispatch order; 0 when shed
+  double wait_seconds = 0.0;      ///< admission-to-dispatch queue wait
+};
+
+/// Server-level counters plus the underlying service's.
+struct ServerStats {
+  AdmissionCounters admission;
+  std::uint64_t dispatched = 0;      ///< requests handed to compute workers
+  std::uint64_t fused_groups = 0;    ///< dispatches serving > 1 request
+  std::uint64_t fused_requests = 0;  ///< requests served inside those groups
+  std::size_t queued = 0;            ///< scheduler depth snapshot
+  std::vector<TenantCounters> tenants;
+  service::ServiceStats service;
+};
+
+/// Long-lived multi-tenant planning server. Thread-safe.
+class PlanServer {
+ public:
+  explicit PlanServer(ServerConfig config = {});
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Admits, queues and eventually serves one request. The future always
+  /// resolves: shed requests resolve immediately (shed=true, ok=false with
+  /// the shed reason as the error), admitted ones when a worker dispatches
+  /// them. Never throws on overload.
+  [[nodiscard]] std::future<ServerResponse> submit(service::PlanRequest request);
+
+  /// Admission watermark signal (hysteresis; see AdmissionQueue).
+  [[nodiscard]] bool overloaded() const;
+
+  /// Blocks until every admitted request has been served.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// The wrapped service, e.g. for audit() in tests.
+  [[nodiscard]] const service::PlanService& service() const { return service_; }
+
+ private:
+  struct Item {
+    service::PlanRequest request;
+    std::uint64_t fusion = 0;  ///< tree_identity digest, the fusion group key
+    std::promise<ServerResponse> promise;
+    util::Stopwatch waited;    ///< started at submit; read at dispatch
+    std::uint64_t seq = 0;     ///< dispatch order, assigned under the lock
+    double wait_seconds = 0.0;
+  };
+
+  void worker_loop();
+  [[nodiscard]] ServerResponse shed_response(const service::PlanRequest& request,
+                                             Admission verdict) const;
+
+  ServerConfig config_;
+  service::PlanService service_;
+  AdmissionQueue admission_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: work available or stopping
+  std::condition_variable idle_cv_;  ///< drain(): queue empty and workers idle
+  FairScheduler<Item> sched_;        ///< guarded by mutex_
+  std::uint64_t seq_ = 0;            ///< guarded by mutex_
+  std::size_t busy_ = 0;             ///< dispatching workers; guarded by mutex_
+  bool stop_ = false;                ///< guarded by mutex_
+
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> fused_groups_{0};
+  std::atomic<std::uint64_t> fused_requests_{0};
+
+  std::vector<std::thread> workers_;  ///< declared last: joined first
+};
+
+}  // namespace ooctree::server

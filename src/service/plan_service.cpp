@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "src/core/check.hpp"
+#include "src/core/minio_postorder.hpp"
+#include "src/core/minmem_optimal.hpp"
+#include "src/core/rec_expand.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace ooctree::service {
@@ -25,6 +30,54 @@ std::shared_ptr<const PlanStats> error_stats(const std::string& message) {
 }
 
 }  // namespace
+
+/// Per-tree shared planning state of one fused group. Only state that is a
+/// *pure function of the tree alone* is shared — the OptMinMem schedule and
+/// the opt_minmem_all_peaks vector, both memory-independent — so run() is
+/// bit-identical to core::run_strategy by construction: kOptMinMem hands
+/// out copies of the one optimal schedule run_strategy would recompute,
+/// and the RecExpand variants call the rec_expand overload the 3-arg
+/// entry point itself delegates to. kPostOrderMinIo is memory-dependent
+/// and shares nothing beyond the materialized tree.
+class PlanService::SharedPlanState {
+ public:
+  explicit SharedPlanState(const core::Tree& tree) : tree_(tree) {}
+
+  [[nodiscard]] core::StrategyOutcome run(core::Strategy s, core::Weight memory) {
+    core::StrategyOutcome out;
+    out.strategy = s;
+    switch (s) {
+      case core::Strategy::kPostOrderMinIo:
+        out.schedule = core::postorder_minio(tree_, memory).schedule;
+        break;
+      case core::Strategy::kOptMinMem:
+        if (!optminmem_.has_value()) optminmem_ = core::opt_minmem(tree_).schedule;
+        out.schedule = *optminmem_;
+        break;
+      case core::Strategy::kRecExpand: {
+        core::RecExpandOptions options;
+        options.max_expansions_per_node = 2;
+        out.schedule = core::rec_expand(tree_, memory, options, peaks()).schedule;
+        break;
+      }
+      case core::Strategy::kFullRecExpand:
+        out.schedule = core::rec_expand(tree_, memory, core::RecExpandOptions{}, peaks()).schedule;
+        break;
+    }
+    out.evaluation = core::simulate_fif(tree_, out.schedule, memory);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] const std::vector<core::Weight>& peaks() {
+    if (!all_peaks_.has_value()) all_peaks_ = core::opt_minmem_all_peaks(tree_);
+    return *all_peaks_;
+  }
+
+  const core::Tree& tree_;
+  std::optional<core::Schedule> optminmem_;
+  std::optional<std::vector<core::Weight>> all_peaks_;
+};
 
 PlanService::PlanService(ServiceConfig config)
     : config_(config),
@@ -49,25 +102,135 @@ PlanResponse PlanService::plan(const PlanRequest& request) {
   return serve(request);
 }
 
+std::vector<PlanResponse> PlanService::plan_fused(const std::vector<PlanRequest>& requests) {
+  std::vector<PlanResponse> responses(requests.size());
+  std::vector<std::uint64_t> seeds(requests.size());
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    seeds[i] = effective_seed(requests[i], config_.seed);
+    groups[tree_identity(requests[i], seeds[i])].push_back(i);
+  }
+  // Process groups in first-member order so the batch is served
+  // deterministically regardless of hash-map iteration order.
+  std::vector<bool> handled(requests.size(), false);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (handled[i]) continue;
+    const std::vector<std::size_t>& members = groups[tree_identity(requests[i], seeds[i])];
+    for (const std::size_t m : members) handled[m] = true;
+    if (members.size() == 1) {
+      responses[i] = plan(requests[i]);  // singleton: ordinary serve() path
+      continue;
+    }
+    submitted_.fetch_add(members.size());
+    serve_group(requests, members, seeds, responses);
+  }
+  return responses;
+}
+
+void PlanService::serve_group(const std::vector<PlanRequest>& requests,
+                              const std::vector<std::size_t>& members,
+                              const std::vector<std::uint64_t>& seeds,
+                              std::vector<PlanResponse>& responses) {
+  const util::Stopwatch watch;
+
+  // Static validation and the spec-fingerprint cache probe per member,
+  // mirroring serve(); survivors proceed to the shared materialization.
+  std::vector<std::size_t> pending;
+  pending.reserve(members.size());
+  for (const std::size_t i : members) {
+    const PlanRequest& request = requests[i];
+    const auto fail = [&](const char* message) {
+      responses[i] = respond(request, error_stats(message), Served::kFused, watch.seconds());
+    };
+    if (request.page_size < 0) {
+      fail("page_size must be >= 0");
+    } else if (request.page_size > 0 && !request.parallel.has_value()) {
+      fail("page_size requires a parallel replay config (workers)");
+    } else if (request.disk_latency < 0 || request.disk_bandwidth < 0) {
+      fail("disk_latency / disk_bandwidth must be >= 0");
+    } else if (request.disk_latency > 0 && request.disk_bandwidth == 0) {
+      fail("disk_latency requires disk_bandwidth > 0");
+    } else if (request.disk_bandwidth > 0 && request.page_size == 0) {
+      fail("a disk model requires a paged replay (page_size > 0)");
+    } else {
+      const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seeds[i]);
+      std::shared_ptr<const PlanStats> hit;
+      if (fingerprint.has_value() &&
+          (hit = cache_.get(CacheKey{*fingerprint, kFingerprintTag})) != nullptr)
+        responses[i] = respond(request, std::move(hit), Served::kCached, watch.seconds());
+      else
+        pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return;
+
+  // One materialization for the whole group — members share tree_identity,
+  // so they materialize bit-identical trees by construction.
+  std::optional<core::Tree> tree;
+  try {
+    tree.emplace(materialize_tree(requests[pending.front()], seeds[pending.front()]));
+  } catch (const std::exception& e) {
+    for (const std::size_t i : pending)
+      responses[i] = respond(requests[i], error_stats(e.what()), Served::kFused, watch.seconds());
+    return;
+  }
+
+  SharedPlanState shared(*tree);
+  for (const std::size_t i : pending) {
+    const PlanRequest& request = requests[i];
+    try {
+      const core::Weight memory = resolve_memory(request, *tree);
+      const CacheKey key{tree->canonical_hash(), params_fingerprint(request, memory, seeds[i])};
+      const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seeds[i]);
+      const CacheKey spec_key{fingerprint.value_or(0), kFingerprintTag};
+      // The canonical probe also dedups *within* the group: an earlier
+      // member with the same (memory, strategy, replay) put its result
+      // just below, so later twins are cache hits, not recomputes.
+      if (auto hit = cache_.get(key)) {
+        if (fingerprint.has_value()) cache_.put(spec_key, hit, /*persistable=*/false);
+        responses[i] = respond(request, std::move(hit), Served::kCached, watch.seconds());
+        continue;
+      }
+      std::shared_ptr<const PlanStats> stats =
+          finish_stats(request, *tree, memory, seeds[i], shared.run(request.strategy, memory));
+      if (stats->ok) {
+        cache_.put(key, stats, /*persistable=*/true);
+        if (fingerprint.has_value()) cache_.put(spec_key, stats, /*persistable=*/false);
+      }
+      responses[i] = respond(request, std::move(stats), Served::kFused, watch.seconds());
+    } catch (const std::exception& e) {
+      responses[i] = respond(request, error_stats(e.what()), Served::kFused, watch.seconds());
+    }
+  }
+}
+
+PlanResponse PlanService::respond(const PlanRequest& request,
+                                  std::shared_ptr<const PlanStats> stats, Served served,
+                                  double seconds) {
+  switch (served) {
+    case Served::kComputed: computed_.fetch_add(1); break;
+    case Served::kCached: cached_.fetch_add(1); break;
+    case Served::kCoalesced: coalesced_.fetch_add(1); break;
+    case Served::kFused: fused_.fetch_add(1); break;
+    case Served::kShed: break;  // constructed by the server layer, never here
+  }
+  if (!stats->ok) failed_.fetch_add(1);
+  completed_.fetch_add(1);
+  PlanResponse response;
+  response.id = request.id;
+  response.stats = std::move(stats);
+  response.served = served;
+  response.seconds = seconds;
+  return response;
+}
+
 PlanResponse PlanService::serve(const PlanRequest& request) {
   const util::Stopwatch watch;
   const std::uint64_t seed = effective_seed(request, config_.seed);
 
   const auto respond = [&](std::shared_ptr<const PlanStats> stats,
                            Served served) -> PlanResponse {
-    switch (served) {
-      case Served::kComputed: computed_.fetch_add(1); break;
-      case Served::kCached: cached_.fetch_add(1); break;
-      case Served::kCoalesced: coalesced_.fetch_add(1); break;
-    }
-    if (!stats->ok) failed_.fetch_add(1);
-    completed_.fetch_add(1);
-    PlanResponse response;
-    response.id = request.id;
-    response.stats = std::move(stats);
-    response.served = served;
-    response.seconds = watch.seconds();
-    return response;
+    return this->respond(request, std::move(stats), served, watch.seconds());
   };
 
   // Statically invalid page/replay combinations fail before any cache
@@ -169,6 +332,19 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
 std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request,
                                                       core::Tree tree, core::Weight memory,
                                                       std::uint64_t seed) const {
+  try {
+    return finish_stats(request, tree, memory, seed,
+                        core::run_strategy(request.strategy, tree, memory));
+  } catch (const std::exception& e) {
+    return error_stats(e.what());
+  }
+}
+
+std::shared_ptr<const PlanStats> PlanService::finish_stats(const PlanRequest& request,
+                                                           const core::Tree& tree,
+                                                           core::Weight memory,
+                                                           std::uint64_t seed,
+                                                           core::StrategyOutcome outcome) const {
   auto stats = std::make_shared<PlanStats>();
   try {
     stats->nodes = tree.size();
@@ -178,7 +354,6 @@ std::shared_ptr<const PlanStats> PlanService::compute(const PlanRequest& request
     stats->memory = memory;
     stats->strategy = request.strategy;
 
-    core::StrategyOutcome outcome = core::run_strategy(request.strategy, tree, memory);
     if (!outcome.evaluation.feasible)
       throw std::runtime_error("plan infeasible under the resolved memory bound");
     stats->schedule = std::move(outcome.schedule);
@@ -232,7 +407,8 @@ void PlanService::audit(bool quiescent) const {
   // read completed_ first and submitted_ last to keep the comparison safe.
   const std::uint64_t completed = completed_.load();
   const std::uint64_t failed = failed_.load();
-  const std::uint64_t served = computed_.load() + cached_.load() + coalesced_.load();
+  const std::uint64_t served =
+      computed_.load() + cached_.load() + coalesced_.load() + fused_.load();
   const std::uint64_t submitted = submitted_.load();
   core::audit_check(completed <= served,
                     "PlanService: completed responses outnumber served ones");
@@ -256,6 +432,7 @@ ServiceStats PlanService::stats() const {
   out.computed = computed_.load();
   out.cached = cached_.load();
   out.coalesced = coalesced_.load();
+  out.fused = fused_.load();
   out.failed = failed_.load();
   out.cache = cache_.counters();
   return out;

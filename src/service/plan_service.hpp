@@ -62,6 +62,7 @@ struct ServiceStats {
   std::uint64_t computed = 0;   ///< planned from scratch
   std::uint64_t cached = 0;     ///< served from the result cache
   std::uint64_t coalesced = 0;  ///< attached to an in-flight computation
+  std::uint64_t fused = 0;      ///< computed inside a fused same-tree batch
   std::uint64_t failed = 0;     ///< ok=false responses
   CacheCounters cache;
 };
@@ -87,6 +88,21 @@ class PlanService {
   /// path submit() takes (cache, coalescing, counters included).
   [[nodiscard]] PlanResponse plan(const PlanRequest& request);
 
+  /// Serves a batch synchronously with *fusion*: requests that materialize
+  /// the same tree (equal tree_identity) share one materialization and the
+  /// memory-independent planning passes — OptMinMem members share the one
+  /// optimal schedule (it does not depend on M), RecExpand/FullRecExpand
+  /// members share the opt_minmem_all_peaks bottom-up pass — instead of K
+  /// independent full computes. Everything shared is a pure function of the
+  /// tree alone, so fused responses are bit-identical to independent
+  /// plan() calls (pinned by tests/test_server.cpp and the fusion rows of
+  /// bench_service_throughput). Fused members respond Served::kFused; the
+  /// cache layers still apply (hits respond kCached), singleton groups take
+  /// the ordinary serve() path, and responses come back in request order.
+  /// Fused members skip in-flight coalescing — a concurrent identical
+  /// leader costs a duplicate compute, never a wrong answer.
+  [[nodiscard]] std::vector<PlanResponse> plan_fused(const std::vector<PlanRequest>& requests);
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
@@ -94,18 +110,32 @@ class PlanService {
   /// Consistency sweep over the service counters, the in-flight table and
   /// the result cache, throwing core::AuditError on drift. Safe to call
   /// while requests are in flight: it only asserts the monotone relations
-  /// that hold mid-serve (completed <= computed + cached + coalesced <=
-  /// submitted, every pending in-flight future valid) plus the full
-  /// ResultCache::audit(). At quiescence (every future resolved) the
+  /// that hold mid-serve (completed <= computed + cached + coalesced +
+  /// fused <= submitted, every pending in-flight future valid) plus the
+  /// full ResultCache::audit(). At quiescence (every future resolved) the
   /// in-flight table must be empty — pass `quiescent = true` to assert
-  /// that and the exact completed == computed + cached + coalesced balance.
+  /// that and the exact completed == served-class balance.
   void audit(bool quiescent = false) const;
 
  private:
+  class SharedPlanState;
+
   PlanResponse serve(const PlanRequest& request);
+  void serve_group(const std::vector<PlanRequest>& requests,
+                   const std::vector<std::size_t>& members,
+                   const std::vector<std::uint64_t>& seeds,
+                   std::vector<PlanResponse>& responses);
+  PlanResponse respond(const PlanRequest& request, std::shared_ptr<const PlanStats> stats,
+                       Served served, double seconds);
   [[nodiscard]] std::shared_ptr<const PlanStats> compute(const PlanRequest& request,
                                                          core::Tree tree, core::Weight memory,
                                                          std::uint64_t seed) const;
+  /// Evaluates + replays an already-planned outcome into immutable stats.
+  [[nodiscard]] std::shared_ptr<const PlanStats> finish_stats(const PlanRequest& request,
+                                                              const core::Tree& tree,
+                                                              core::Weight memory,
+                                                              std::uint64_t seed,
+                                                              core::StrategyOutcome outcome) const;
 
   ServiceConfig config_;
   ResultCache cache_;
@@ -123,6 +153,7 @@ class PlanService {
   std::atomic<std::uint64_t> computed_{0};
   std::atomic<std::uint64_t> cached_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> fused_{0};
   std::atomic<std::uint64_t> failed_{0};
 
   /// Declared last on purpose: the pool is destroyed first, draining every

@@ -128,6 +128,8 @@ std::string served_name(Served s) {
     case Served::kComputed: return "computed";
     case Served::kCached: return "cached";
     case Served::kCoalesced: return "coalesced";
+    case Served::kFused: return "fused";
+    case Served::kShed: return "shed";
   }
   throw std::invalid_argument("served_name: unknown value");
 }
@@ -220,6 +222,35 @@ std::uint64_t params_fingerprint(const PlanRequest& request, core::Weight memory
   h = mix_i64(h, memory);
   h = mix(h, static_cast<std::uint64_t>(request.strategy));
   return mix_replay(h, request, seed);
+}
+
+std::uint64_t tree_identity(const PlanRequest& request, std::uint64_t seed) {
+  std::uint64_t h = util::splitmix64(0x7EE1DULL);
+  h = mix(h, static_cast<std::uint64_t>(request.source));
+  h = mix(h, static_cast<std::uint64_t>(request.model));
+  switch (request.source) {
+    case TreeSource::kSynth:
+      h = mix(h, request.nodes);
+      h = mix_i64(h, request.w_lo);
+      h = mix_i64(h, request.w_hi);
+      // The *effective* seed: synth requests with seed == 0 derive a
+      // per-id stream, so two ids only share a tree when those streams
+      // coincide — grouping on the raw spec would fuse different trees.
+      h = mix(h, seed);
+      break;
+    case TreeSource::kParents:
+      h = mix(h, request.parent.size());
+      for (const core::NodeId p : request.parent) h = mix_i64(h, p);
+      for (const core::Weight w : request.weight) h = mix_i64(h, w);
+      break;
+    case TreeSource::kTreeFile:
+    case TreeSource::kMatrixMarket:
+    case TreeSource::kSnapshot:
+      h = mix(h, request.path.size());
+      for (const char c : request.path) h = mix(h, static_cast<unsigned char>(c));
+      break;
+  }
+  return h;
 }
 
 }  // namespace ooctree::service

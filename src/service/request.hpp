@@ -49,6 +49,12 @@ enum class TreeSource : std::uint8_t {
 struct PlanRequest {
   std::int64_t id = 0;  ///< caller-chosen; also salts the derived RNG stream
 
+  /// Fair-scheduling key of the multi-tenant server (src/server/): requests
+  /// from one tenant share a queue, weight and in-flight cap there. Pure
+  /// routing metadata — never part of a fingerprint or cache key, so
+  /// identical requests from different tenants still dedup to one compute.
+  std::string tenant;
+
   TreeSource source = TreeSource::kSynth;
   // kSynth: `nodes` nodes, weights uniform in [w_lo, w_hi]. seed == 0 means
   // "derive from (service seed, request id)" — the deterministic default.
@@ -141,6 +147,8 @@ enum class Served : std::uint8_t {
   kComputed,   ///< planned from scratch on a worker
   kCached,     ///< answered from the result cache
   kCoalesced,  ///< attached to an identical in-flight computation
+  kFused,      ///< computed inside a fused same-tree batch (plan_fused)
+  kShed,       ///< rejected by server admission control (ok=false)
 };
 
 [[nodiscard]] std::string served_name(Served s);
@@ -177,5 +185,17 @@ struct PlanResponse {
 /// config): the params half of the canonical cache key.
 [[nodiscard]] std::uint64_t params_fingerprint(const PlanRequest& request, core::Weight memory,
                                                std::uint64_t seed);
+
+/// Digest of everything that determines which tree the request
+/// materializes — source, memory model, and the spec (synth generator
+/// parameters + effective seed, inline parent/weight vectors, or the
+/// path string). Two requests with equal tree_identity materialize
+/// bit-identical trees, so a fused batch (PlanService::plan_fused) can
+/// share one materialization and one set of memory-independent planning
+/// passes across them. Unlike Tree::canonical_hash() this needs no
+/// materialization; unlike request_fingerprint it ignores the memory
+/// bound, strategy and replay knobs. Path sources group by path string —
+/// same-content-different-path trees simply fuse less, never wrongly.
+[[nodiscard]] std::uint64_t tree_identity(const PlanRequest& request, std::uint64_t seed);
 
 }  // namespace ooctree::service

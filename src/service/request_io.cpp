@@ -177,7 +177,7 @@ class JsonScanner {
 [[noreturn]] void unknown_key(const std::string& key) {
   throw std::runtime_error(
       "unknown request field '" + key +
-      "' (id, source, nodes, w_lo, w_hi, seed, parent, weight, path, model, memory, "
+      "' (id, tenant, source, nodes, w_lo, w_hi, seed, parent, weight, path, model, memory, "
       "memory_lb, strategy, workers, priority, evict, cost, backfill, backfill_depth, "
       "reserve_penalty, residency, evict_seed, page_size, disk_latency, disk_bandwidth)");
 }
@@ -218,6 +218,8 @@ void assign_string(DecodeState& state, const std::string& key, const std::string
   if (key == "source") {
     state.request.source = tree_source_from_name(value);
     state.has_source = true;
+  } else if (key == "tenant") {
+    state.request.tenant = value;
   } else if (key == "path") {
     state.request.path = value;
   } else if (key == "model") {
@@ -448,9 +450,9 @@ std::vector<PlanRequest> read_requests_csv(std::istream& in) {
       header = split_csv_row(line);
       for (const std::string& key : header) {
         // Validate the header eagerly so a typo fails before row 1.
-        if (!csv_key_is_numeric(key) && key != "source" && key != "path" && key != "model" &&
-            key != "strategy" && key != "priority" && key != "evict" && key != "cost" &&
-            key != "backfill" && key != "residency")
+        if (!csv_key_is_numeric(key) && key != "tenant" && key != "source" && key != "path" &&
+            key != "model" && key != "strategy" && key != "priority" && key != "evict" &&
+            key != "cost" && key != "backfill" && key != "residency")
           unknown_key(key);
       }
       continue;

@@ -3,6 +3,8 @@
 // JSONL: one flat JSON object per line ('#' comments and blank lines are
 // skipped). Keys — all optional, unknown keys rejected:
 //   id, source ("synth" | "parents" | "tree" | "mtx"),
+//   tenant                            (fair-scheduling key of the server;
+//                                      routing metadata, never cached on)
 //   nodes, w_lo, w_hi, seed           (synth generator spec)
 //   parent [..], weight [..]          (inline parent-vector tree)
 //   path                              (tree / mtx file sources)

@@ -5,7 +5,8 @@
 
 namespace ooctree::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
@@ -29,12 +30,30 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  switch (try_enqueue(std::move(task))) {
+    case EnqueueResult::kOk:
+      return;
+    case EnqueueResult::kFull:
+      throw std::runtime_error("ThreadPool::submit: bounded queue is at capacity");
+    case EnqueueResult::kStopping:
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+  }
+}
+
+ThreadPool::EnqueueResult ThreadPool::try_enqueue(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
-    if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    if (stopping_) return EnqueueResult::kStopping;
+    if (queue_capacity_ != 0 && tasks_.size() >= queue_capacity_) return EnqueueResult::kFull;
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
+  return EnqueueResult::kOk;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::worker_loop() {

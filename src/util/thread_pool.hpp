@@ -16,6 +16,13 @@
 //     shutdown() is callable explicitly (idempotent, any thread, safe
 //     against concurrent submitters — the concurrency stress suite races
 //     them under TSan); the destructor is just shutdown().
+//
+// The queue is bounded when a nonzero capacity is configured: submit()
+// throws and try_submit() returns nullopt once `queue_capacity` tasks are
+// waiting, so a producer that outruns the workers gets backpressure instead
+// of unbounded memory growth. parallel_for is exempt — its drive tasks are
+// one-per-worker structured helpers, not queued work items, and bounding
+// them could deadlock the caller that is blocked waiting for them.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +32,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -36,7 +44,9 @@ namespace ooctree::util {
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `queue_capacity` bounds the number of tasks waiting in the submit
+  /// queue (0 = unbounded, the historical contract).
+  explicit ThreadPool(std::size_t threads = 0, std::size_t queue_capacity = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -48,7 +58,8 @@ class ThreadPool {
 
   /// Enqueues fn to run on a worker and returns a future for its result.
   /// Exceptions thrown by fn surface through the future. Throws
-  /// std::runtime_error if the pool is shutting down.
+  /// std::runtime_error if the pool is shutting down or the bounded queue
+  /// is at capacity.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -58,7 +69,23 @@ class ThreadPool {
     return future;
   }
 
+  /// Non-throwing variant for bounded pools: returns nullopt instead of
+  /// enqueueing when the queue is at capacity or the pool is shutting
+  /// down. fn is not invoked in that case.
+  template <typename F>
+  auto try_submit(F&& fn) -> std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (try_enqueue([task] { (*task)(); }) != EnqueueResult::kOk) return std::nullopt;
+    return future;
+  }
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Configured submit-queue bound; 0 = unbounded.
+  [[nodiscard]] std::size_t queue_capacity() const { return queue_capacity_; }
+  /// Tasks currently waiting in the queue (excludes tasks being executed).
+  [[nodiscard]] std::size_t queue_depth() const;
 
   /// Drain-then-stop: marks the pool stopping (submit() from any thread
   /// now throws), lets the workers run every task already queued, then
@@ -68,14 +95,18 @@ class ThreadPool {
   void shutdown();
 
  private:
+  enum class EnqueueResult { kOk, kFull, kStopping };
+
   void enqueue(std::function<void()> task);
+  EnqueueResult try_enqueue(std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::mutex join_mutex_;  ///< serializes concurrent shutdown() joins
+  std::size_t queue_capacity_ = 0;
   bool stopping_ = false;
 };
 

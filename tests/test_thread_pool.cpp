@@ -85,6 +85,67 @@ TEST(ThreadPoolSubmit, ShutdownDrainsQueuedFutures) {
   }
 }
 
+TEST(ThreadPoolBounded, TrySubmitShedsAtCapacityAndRecovers) {
+  // One worker blocked on a gate, capacity 2: the first two extra submits
+  // fill the queue, the next try_submit must shed (nullopt) instead of
+  // growing the queue, and a plain submit must throw. Once the gate opens
+  // everything queued still runs and capacity is available again.
+  util::ThreadPool pool(1, /*queue_capacity=*/2);
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::promise<void> started;
+  auto blocker = pool.submit([open, &started] { started.set_value(); open.wait(); });
+  started.get_future().wait();  // the worker is now busy, not queued
+
+  auto q1 = pool.try_submit([] { return 1; });
+  auto q2 = pool.try_submit([] { return 2; });
+  ASSERT_TRUE(q1.has_value());
+  ASSERT_TRUE(q2.has_value());
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  auto rejected = pool.try_submit([] { return 3; });
+  EXPECT_FALSE(rejected.has_value());          // bounded: shed, not queued
+  EXPECT_THROW((void)pool.submit([] { return 4; }), std::runtime_error);
+  EXPECT_EQ(pool.queue_depth(), 2u);           // the bound held throughout
+
+  gate.set_value();
+  blocker.get();
+  EXPECT_EQ(q1->get(), 1);
+  EXPECT_EQ(q2->get(), 2);
+  // Queue drained: capacity is available again.
+  auto after = pool.try_submit([] { return 5; });
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->get(), 5);
+}
+
+TEST(ThreadPoolBounded, UnboundedDefaultNeverSheds) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_capacity(), 0u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    auto f = pool.try_submit([i] { return i; });
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+TEST(ThreadPoolBounded, TrySubmitAfterShutdownReturnsNullopt) {
+  util::ThreadPool pool(1, 4);
+  pool.shutdown();
+  EXPECT_FALSE(pool.try_submit([] { return 1; }).has_value());
+}
+
+TEST(ThreadPoolBounded, ParallelForIsExemptFromTheBound) {
+  // parallel_for's drive tasks are structured helpers, not queued work
+  // items — a tiny bound must not deadlock or shed iterations.
+  util::ThreadPool pool(4, /*queue_capacity=*/1);
+  std::atomic<int> hits{0};
+  pool.parallel_for(64, [&hits](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 64);
+}
+
 TEST(ThreadPoolSubmit, MultiProducerStress) {
   util::ThreadPool pool(4);
   constexpr int kProducers = 4;

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Smoke test for the plan_service streaming server mode.
+
+Drives `plan_service --serve --stats` over a pipe the way a client would:
+writes JSONL requests in two phases, *keeping stdin open* between them, and
+requires each phase's responses to arrive before the next phase is written
+— proving responses stream incrementally instead of being batched until
+EOF. The second phase includes an exact duplicate (must be answered from
+the service cache) and a malformed line (must come back ok=false in
+submission order, not as a crash). After EOF the end-of-run stats summary
+is validated and the exit code must be 2 (at least one failed response).
+
+Usage: server_smoke.py <path-to-plan_service>
+Requires only the Python 3 standard library. Exits nonzero on any failure.
+"""
+
+import json
+import queue
+import subprocess
+import sys
+import threading
+
+TIMEOUT = 60.0  # generous per-phase watchdog; the requests are tiny
+
+
+def fail(process, message):
+    process.kill()
+    print(f"server_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+
+    process = subprocess.Popen(
+        [binary, "--serve", "--stats", "--workers", "1"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    lines = queue.Queue()
+
+    def pump():
+        for line in process.stdout:
+            lines.put(line.rstrip("\n"))
+        lines.put(None)  # EOF marker
+
+    reader = threading.Thread(target=pump, daemon=True)
+    reader.start()
+
+    def send(requests):
+        for request in requests:
+            process.stdin.write(json.dumps(request) + "\n")
+        process.stdin.flush()
+
+    def receive(count):
+        """Collects `count` response lines; the watchdog turns a stalled
+        (non-incremental) server into a test failure instead of a hang."""
+        responses = []
+        for _ in range(count):
+            try:
+                line = lines.get(timeout=TIMEOUT)
+            except queue.Empty:
+                fail(process, f"timed out waiting for a response (got {len(responses)})")
+            if line is None:
+                fail(process, "server closed stdout before answering")
+            responses.append(json.loads(line))
+        return responses
+
+    # Phase 1: three requests; responses must stream back while stdin is
+    # still open (ids 2 and 3 share a tree and may fuse — both are fine).
+    send([
+        {"id": 1, "tenant": "alice", "nodes": 200, "seed": 7, "memory_lb": 1.2},
+        {"id": 2, "tenant": "bob", "nodes": 300, "seed": 9, "memory_lb": 1.1},
+        {"id": 3, "tenant": "alice", "nodes": 300, "seed": 9, "memory_lb": 1.5},
+    ])
+    first = receive(3)
+    for response in first:
+        if not response.get("ok"):
+            fail(process, f"phase-1 response not ok: {response}")
+
+    # Phase 2: a duplicate of id 1 (cache hit), a fresh request, and a
+    # malformed line that must answer ok=false in order, not crash.
+    send([
+        {"id": 4, "tenant": "alice", "nodes": 200, "seed": 7, "memory_lb": 1.2},
+        {"id": 5, "tenant": "bob", "nodes": 250, "seed": 11},
+    ])
+    process.stdin.write('{"id": 6, "bogus": 1}\n')
+    process.stdin.flush()
+    second = receive(3)
+
+    if not second[0].get("ok") or second[0].get("served") != "cached":
+        fail(process, f"duplicate was not served from cache: {second[0]}")
+    if not second[1].get("ok"):
+        fail(process, f"fresh request failed: {second[1]}")
+    if second[2].get("ok") or "error" not in second[2]:
+        fail(process, f"malformed line did not fail cleanly: {second[2]}")
+
+    ids = [response["id"] for response in first + second]
+    if ids != [1, 2, 3, 4, 5, 6]:
+        fail(process, f"responses out of submission order: {ids}")
+
+    # EOF: graceful drain, then the end-of-run stats summary.
+    process.stdin.close()
+    stats_line = lines.get(timeout=TIMEOUT)
+    if stats_line is None:
+        fail(process, "no stats summary after EOF")
+    stats = json.loads(stats_line)
+    if stats.get("submitted") != 5 or stats.get("dispatched") != 5:
+        fail(process, f"stats disagree with the 5 decoded requests: {stats_line}")
+    if stats.get("shed") != 0 or stats.get("queued") != 0:
+        fail(process, f"unexpected shedding or leftover queue: {stats_line}")
+    if stats.get("service", {}).get("cached", 0) < 1:
+        fail(process, f"the duplicate never hit the cache: {stats_line}")
+    tenants = {t["tenant"] for t in stats.get("tenants", [])}
+    if not {"alice", "bob"} <= tenants:
+        fail(process, f"tenant counters missing: {stats_line}")
+
+    returncode = process.wait(timeout=TIMEOUT)
+    if returncode != 2:  # one failed response => exit 2, the documented contract
+        fail(process, f"expected exit code 2 (failures present), got {returncode}")
+
+    print("server_smoke: PASS (incremental streaming, cache hit, clean decode "
+          "failure, stats summary, exit code)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
