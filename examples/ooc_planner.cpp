@@ -71,6 +71,13 @@ void usage(const char* prog) {
       "  --disk-latency S / --disk-bandwidth B\n"
       "                      charge read-backs S seconds per transfer plus\n"
       "                      volume/B against the paged makespan\n"
+      "  --write-queue-depth Q\n"
+      "                      bound the asynchronous eviction-write queue at Q\n"
+      "                      transfers (paged replay with a disk model; 0 =\n"
+      "                      synchronous free writes, the default)\n"
+      "  --prefetch-window W look ahead W ready tasks and prefetch their\n"
+      "                      evicted child pages into free frames (paged\n"
+      "                      replay with a disk model; 0 = no prefetch)\n"
       "  --page-size P       simulate the plan page-granularly (P units per page)\n"
       "                      through the paged parallel engine; combine with\n"
       "                      --workers for a parallel paged replay (default 1\n"
@@ -248,6 +255,8 @@ int main(int argc, char** argv) {
       pc.backfill_depth = static_cast<int>(args.get_int("backfill-depth", 0));
       pc.reserve_penalty = args.get_double("reserve-penalty", 1.0);
       pc.residency_aware = args.has("residency");
+      pc.write_queue_depth = static_cast<int>(args.get_int("write-queue-depth", 0));
+      pc.prefetch_window = static_cast<int>(args.get_int("prefetch-window", 0));
       pc.evict = core::eviction_policy_from_name(args.get("evict", "belady"));
       if (args.has("page-size")) {
         parallel::PagedParallelConfig paged;
@@ -277,6 +286,13 @@ int main(int argc, char** argv) {
                      (long long)paged.page_size, (long long)par.frames, par.base.makespan,
                      (long long)par.pages_written, (long long)par.pages_read, par.read_stall,
                      100.0 * par.base.utilization(pc.workers));
+        if (pc.write_queue_depth > 0 || pc.prefetch_window > 0)
+          std::fprintf(stderr,
+                       "disk pipeline (queue %d, window %d): write stall %.0f, "
+                       "prefetch %lld pages issued, %lld useful, %lld wasted\n",
+                       pc.write_queue_depth, pc.prefetch_window, par.write_stall,
+                       (long long)par.prefetch_issued, (long long)par.prefetch_useful,
+                       (long long)par.prefetch_wasted);
       } else {
         const auto par = parallel::simulate_parallel(tree, pc, plan.schedule);
         if (!par.feasible) {

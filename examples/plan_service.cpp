@@ -172,6 +172,10 @@ void print_response_line(const server::ServerResponse& response) {
         out += ",\"pages_written\":" + std::to_string(stats.pages_written);
         out += ",\"pages_read\":" + std::to_string(stats.pages_read);
         out += ",\"read_stall\":" + json_double(stats.read_stall);
+        out += ",\"write_stall\":" + json_double(stats.write_stall);
+        out += ",\"prefetch_issued\":" + std::to_string(stats.prefetch_issued);
+        out += ",\"prefetch_useful\":" + std::to_string(stats.prefetch_useful);
+        out += ",\"prefetch_wasted\":" + std::to_string(stats.prefetch_wasted);
       }
     }
   } else {
@@ -378,7 +382,8 @@ int run_batch(const util::Args& args) {
         args.get("out", ""),
         {"id", "served", "ok", "nodes", "lb", "memory", "strategy", "io_volume",
          "peak_resident", "workers", "makespan", "parallel_io", "failed_starts",
-         "page_size", "pages_written", "pages_read", "read_stall", "seconds"}));
+         "page_size", "pages_written", "pages_read", "read_stall", "write_stall",
+         "prefetch_issued", "prefetch_useful", "prefetch_wasted", "seconds"}));
 
   const bool quiet = args.has("quiet");
   const std::size_t total = requests.size();
@@ -416,7 +421,8 @@ int run_batch(const util::Args& args) {
                 core::strategy_name(stats.strategy), stats.io_volume, stats.peak_resident,
                 stats.workers, stats.makespan, stats.parallel_io, stats.failed_starts,
                 stats.page_size, stats.pages_written, stats.pages_read, stats.read_stall,
-                response.seconds});
+                stats.write_stall, stats.prefetch_issued, stats.prefetch_useful,
+                stats.prefetch_wasted, response.seconds});
   }
   const double seconds = wall.seconds();
 

@@ -80,7 +80,12 @@ inline std::atomic<int> eviction_index{0};
 inline std::atomic<int> pager{0};
 /// Bitmask for simulate_parallel_paged: 1 = a failed transactional start
 /// still charges io_volume (the PR 3 "failed starts charge I/O" seed bug);
-/// 2 = task completion leaks one frame of its reservation.
+/// 2 = task completion leaks one frame of its reservation. Disk-pipeline
+/// bug classes (PR 10): 4 = eviction ignores write-queue backpressure, so
+/// pending writes overflow write_queue_depth slots; 8 = prefetch sizes its
+/// read from the datum's full page count, re-fetching pages that are
+/// already resident; 16 = a disk transfer completes earlier than the
+/// serial device timeline allows (double-booked bandwidth).
 inline std::atomic<int> parallel_engine{0};
 }  // namespace fault
 

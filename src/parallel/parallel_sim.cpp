@@ -1,6 +1,7 @@
 #include "src/parallel/parallel_sim.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 #include <stdexcept>
 
@@ -45,6 +46,10 @@ Prepared prepare(const Tree& tree, const ParallelConfig& config, const Schedule&
     throw std::invalid_argument("simulate_parallel: backfill_depth must be >= 0");
   if (!(config.reserve_penalty >= 0.0))  // negated: rejects NaN too
     throw std::invalid_argument("simulate_parallel: reserve_penalty must be >= 0");
+  if (config.write_queue_depth < 0)
+    throw std::invalid_argument("simulate_parallel: write_queue_depth must be >= 0");
+  if (config.prefetch_window < 0)
+    throw std::invalid_argument("simulate_parallel: prefetch_window must be >= 0");
 
   Prepared p;
   p.ref = reference.empty() ? core::postorder_minmem(tree).schedule : reference;
@@ -215,6 +220,59 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   core::EvictionIndex index(base.evict, tree.size(),
                             base.evict == EvictionPolicy::kRandom ? &rng : nullptr);
 
+  // Disk pipeline. Engaged only under a disk model with a nonzero knob:
+  // both knobs at 0 leave every branch below dead, so the synchronous
+  // engine is reproduced bit-for-bit (pinned by tests/test_disk_pipeline).
+  const bool pipelined =
+      config.disk.has_value() && (base.write_queue_depth > 0 || base.prefetch_window > 0);
+  const bool async_writes = pipelined && base.write_queue_depth > 0;
+  const bool prefetching = pipelined && base.prefetch_window > 0;
+  // One device shared by prefetch reads, demand reads and queued writes,
+  // with read priority: reads serialize against each other and against
+  // any write the device already started, but jump ahead of the queued
+  // write backlog (write-back is lazy and latency-insensitive; reads gate
+  // compute). `disk_free` is the single-server busy-until clock, so the
+  // device never does two transfers at once — DiskModel capacity holds by
+  // construction. A pending write starts whenever the device is idle and
+  // then blocks later arrivals (non-preemptive, work-conserving).
+  double disk_free = 0.0;
+  std::deque<std::pair<double, Weight>> write_queue;  // pending write-backs: (enqueue time, pages)
+  const auto drain_writes = [&](double t) {
+    while (!write_queue.empty()) {
+      const double start = std::max(disk_free, write_queue.front().first);
+      if (start >= t) break;  // not started by t: unstarted backlog yields to reads
+      disk_free = start + config.disk->transfer_time(write_queue.front().second * page, 1);
+      write_queue.pop_front();
+    }
+  };
+  const auto issue_read = [&](double at, Weight pages_moved) -> double {
+    drain_writes(at);
+    const double pure = config.disk->transfer_time(pages_moved * page, 1);
+#if OOCTREE_AUDIT_ENABLED
+    const double device_was = disk_free;
+    // Test-only fault: double-book the device — the transfer "completes"
+    // before the serial timeline has room for it.
+    if (core::fault::parallel_engine.load(std::memory_order_relaxed) & 16) {
+      disk_free = std::min(device_was, at) - pure;
+    } else {
+      disk_free = std::max(disk_free, at) + pure;
+    }
+    core::audit_check(disk_free >= device_was && disk_free >= at + pure,
+                      "simulate_parallel_paged: disk transfer exceeds DiskModel capacity");
+#else
+    disk_free = std::max(disk_free, at) + pure;
+#endif
+    return disk_free;
+  };
+  // Prefetch bookkeeping: pages that arrived ahead of their consuming
+  // start sit resident but clean (their disk copy persists), tracked per
+  // child along with the completion time of the latest in-flight read.
+  std::vector<Weight> prefetched(prefetching ? tree.size() : 0, 0);
+  std::vector<double> prefetch_ready(prefetching ? tree.size() : 0, 0.0);
+  // Children of the current look-ahead window: never prefetch-eviction
+  // victims (staging must not thrash pages the next starts consume).
+  std::vector<char> prefetch_pinned(prefetching ? tree.size() : 0, 0);
+
 #if OOCTREE_AUDIT_ENABLED
   // Audit-only running set (the event queue is not iterable): lets the
   // audit recompute the reservation sum independently of running_frames.
@@ -237,9 +295,19 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
                         "simulate_parallel_paged: resident pages exceed the datum size");
       core::audit_check(result.io[i] <= total_pages[i] * page,
                         "simulate_parallel_paged: datum written beyond its size (write-once)");
+      // Every clean resident page of this engine arrived via prefetch
+      // (outputs are produced fully dirty and demand reads are consumed on
+      // arrival), so the prefetch ledger must equal the clean residency.
+      if (prefetching)
+        core::audit_check(prefetched[i] == resident[i] - dirty[i],
+                          "simulate_parallel_paged: prefetch ledger out of sync with "
+                          "clean residency");
       resident_total += resident[i];
       io_total += result.io[i];
     }
+    if (async_writes)
+      core::audit_check(static_cast<int>(write_queue.size()) <= base.write_queue_depth,
+                        "simulate_parallel_paged: pending writes exceed write_queue_depth");
     core::audit_check(io_total == result.io_volume,
                       "simulate_parallel_paged: io_volume != sum of per-node I/O");
     Weight reservation_total = 0;
@@ -282,6 +350,79 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     return true;
   };
 
+  // One victim spill, shared by start-time eviction and prefetch staging:
+  // take `take` pages from live output v at the caller's local clock
+  // `at_clock`. Clean pages drop free; only never-written pages cost a
+  // write-back (write-at-most-once). Under async writes a full queue
+  // stalls the caller slot-by-slot when `may_stall`; otherwise the spill
+  // is refused with no state touched (prefetch is opportunistic — it must
+  // never block or charge anything the demand path would not).
+  const auto spill = [&](NodeId v, Weight take, double& at_clock, bool may_stall) -> bool {
+    // Clean pages are dropped first; only never-written pages cost I/O.
+    const Weight clean = resident[idx(v)] - dirty[idx(v)];
+    const Weight written = std::max<Weight>(0, take - clean);
+    if (async_writes && written > 0) {
+      // Slots whose transfers the device completed by the caller's clock
+      // are free again.
+      drain_writes(at_clock);
+      bool backpressure = true;
+#if OOCTREE_AUDIT_ENABLED
+      // Test-only fault: ignore backpressure so pending writes overflow
+      // the queue's slots — the conservation audit must convict.
+      if (core::fault::parallel_engine.load(std::memory_order_relaxed) & 4)
+        backpressure = false;
+#endif
+      if (!may_stall && backpressure &&
+          static_cast<int>(write_queue.size()) >= base.write_queue_depth)
+        return false;
+      // A full queue stalls the evicting worker until the oldest pending
+      // transfer is forced through the device — one slot, not the whole
+      // queue (write_stall).
+      while (backpressure && static_cast<int>(write_queue.size()) >= base.write_queue_depth) {
+        const double start = std::max(disk_free, std::max(write_queue.front().first, at_clock));
+        const double completion =
+            start + config.disk->transfer_time(write_queue.front().second * page, 1);
+        paged.write_stall += completion - at_clock;
+        at_clock = completion;
+        disk_free = completion;
+        write_queue.pop_front();
+      }
+    }
+    resident[idx(v)] -= take;
+    dirty[idx(v)] -= written;
+    frames_used -= take;
+    paged.pages_written += written;
+    paged.pages_dropped_clean += take - written;
+    ++paged.eviction_events;
+    result.io[idx(v)] += written * page;
+    result.io_volume += written * page;
+    // Dropped clean pages are exactly prefetched-but-unconsumed pages
+    // (outputs are produced fully dirty): they count as wasted prefetch.
+    if (prefetching && take > written) {
+      const Weight wasted = std::min(prefetched[idx(v)], take - written);
+      prefetched[idx(v)] -= wasted;
+      paged.prefetch_wasted += wasted;
+    }
+    if (async_writes && written > 0) {
+      paged.disk_write_time += config.disk->transfer_time(written * page, 1);
+      write_queue.emplace_back(at_clock, written);
+      paged.write_queue_peak = std::max<std::int64_t>(
+          paged.write_queue_peak, static_cast<std::int64_t>(write_queue.size()));
+#if OOCTREE_AUDIT_ENABLED
+      // Queue-slot conservation: an enqueue never leaves more pending
+      // transfers than the queue has slots.
+      core::audit_check(static_cast<int>(write_queue.size()) <= base.write_queue_depth,
+                        "simulate_parallel_paged: pending writes exceed write_queue_depth");
+#endif
+    }
+    if (resident[idx(v)] == 0) {
+      index.erase(v);
+    } else if (base.evict == EvictionPolicy::kLargestFirst) {
+      index.insert(v, resident[idx(v)]);  // re-key after the partial spill
+    }
+    return true;
+  };
+
   const auto try_start = [&](NodeId i) -> bool {
     if (!fits(i)) return false;
 
@@ -298,26 +439,14 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
 
     // Committed: evict live outputs (furthest-consumer first under Belady)
     // until the start fits. The precheck guarantees the index suffices.
+    // `start_at` is this worker's local clock: write-queue backpressure
+    // pushes it past `now` before any read is issued or compute begins.
     const Weight target = frames - delta;
+    double start_at = now;
     while (frames_used > target) {
       const NodeId v = index.pick();
-      const Weight take = std::min(resident[idx(v)], frames_used - target);
-      // Clean pages are dropped first; only never-written pages cost I/O.
-      const Weight clean = resident[idx(v)] - dirty[idx(v)];
-      const Weight written = std::max<Weight>(0, take - clean);
-      resident[idx(v)] -= take;
-      dirty[idx(v)] -= written;
-      frames_used -= take;
-      paged.pages_written += written;
-      paged.pages_dropped_clean += take - written;
-      ++paged.eviction_events;
-      result.io[idx(v)] += written * page;
-      result.io_volume += written * page;
-      if (resident[idx(v)] == 0) {
-        index.erase(v);
-      } else if (base.evict == EvictionPolicy::kLargestFirst) {
-        index.insert(v, resident[idx(v)]);  // re-key after the partial spill
-      }
+      spill(v, std::min(resident[idx(v)], frames_used - target), start_at,
+            /*may_stall=*/true);
     }
 
     // Consume the children: read evicted pages back (read-back pages come
@@ -326,11 +455,25 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     // for the transfer before compute begins: spills delay this start.
     Weight read_pages = 0;
     std::int64_t transfers = 0;
+    double io_ready = start_at;  // completion of the last transfer this start waits on
     for (const NodeId c : tree.children(i)) {
       const Weight missing = total_pages[idx(c)] - resident[idx(c)];
       if (missing > 0) {
         read_pages += missing;
         ++transfers;
+        if (pipelined) {
+          // Demand read on the shared device timeline: queues behind any
+          // pending transfer instead of assuming a free disk.
+          paged.disk_read_time += config.disk->transfer_time(missing * page, 1);
+          io_ready = std::max(io_ready, issue_read(start_at, missing));
+        }
+      }
+      if (prefetching && prefetched[idx(c)] > 0) {
+        // Pages fetched ahead of this start pay only their residual
+        // transfer time (zero once the read completed under compute).
+        paged.prefetch_useful += prefetched[idx(c)];
+        io_ready = std::max(io_ready, prefetch_ready[idx(c)]);
+        prefetched[idx(c)] = 0;
       }
       frames_used -= resident[idx(c)];
       resident[idx(c)] = 0;
@@ -339,9 +482,13 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     paged.pages_read += read_pages;
     paged.read_transfers += transfers;
     double stall = 0.0;
-    if (config.disk.has_value() && read_pages > 0) {
+    if (pipelined) {
+      stall = io_ready - start_at;
+      paged.read_stall += stall;
+    } else if (config.disk.has_value() && read_pages > 0) {
       stall = config.disk->transfer_time(read_pages * page, transfers);
       paged.read_stall += stall;
+      paged.disk_read_time += stall;  // synchronous: the wait IS the device time
     }
     frames_used += work_frames[idx(i)];
     running_frames += work_frames[idx(i)];
@@ -351,8 +498,8 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     result.start_time[idx(i)] = now;
     result.start_order.push_back(i);
     const double cost = task_cost(tree, i, base.cost);
-    result.busy_time += cost;  // compute only: read stalls are not useful work
-    running.emplace(now + stall + cost, i);
+    result.busy_time += cost;  // compute only: read/write stalls are not useful work
+    running.emplace(start_at + stall + cost, i);
     --idle;
 #if OOCTREE_AUDIT_ENABLED
     audit_running.push_back(i);
@@ -372,6 +519,12 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   std::vector<Ready> deferred;
   std::vector<Ready> window;            // residency scan: fitting candidates
   std::vector<std::int64_t> window_at;  // examined index of each window entry
+  std::vector<Ready> peek;              // prefetch scan: look-ahead candidates
+  std::vector<NodeId> pinned;           // prefetch scan: marked window children
+  std::vector<Ready> cands;             // prefetch scan: candidates in scan order
+  std::vector<NodeId> predicted;        // prefetch scan: predicted next starts
+  std::vector<char> taken;              // prefetch scan: candidates already predicted
+  std::vector<std::pair<NodeId, int>> sim_dec;  // prefetch scan: replayed completions
   while (completed < tree.size()) {
     deferred.clear();
     if (!residency) {
@@ -447,6 +600,168 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
     }
     for (const Ready& r : deferred) ready.push(r);
 
+    if (prefetching && !running.empty()) {
+      // Look-ahead prefetch: peek the top prefetch_window ready tasks —
+      // the next starts in priority order — and stage their evicted child
+      // pages back in before the consuming start, overlapping the reads
+      // with the compute currently running. Staging may evict through the
+      // shared index: the victim it picks is the one the demand start
+      // would spill anyway, just earlier. Two guards keep it opportunistic
+      // rather than disruptive: it never evicts a child of the peeked
+      // window itself (that would thrash pages the upcoming starts are
+      // about to consume), and when the write queue is full it gives up
+      // the round instead of stalling. Fetched pages land clean (their
+      // disk copy persists), join the eviction index (an eviction before
+      // use counts them prefetch_wasted), and their transfers run on the
+      // shared device timeline.
+      // Prediction: raw priority order mispredicts badly at tight memory
+      // (the top ready tasks usually fail the fit check and backfill
+      // starts deeper candidates — failed_starts dwarfs starts; worse,
+      // most reads happen at parents that only become ready at an
+      // upcoming completion, so they are not even in the heap yet). The
+      // staging target list therefore replays the scheduler's own rule
+      // against the known future: completions free worker reservations in
+      // finish order (the running heap is visible), each one may activate
+      // a parent (missing_children bookkeeping), and each round starts
+      // the first ready task of the backfill window whose reservation
+      // fits — all deterministic from here. The first predicted start is
+      // exact; later ones degrade gracefully.
+      peek.clear();
+      const int scan_cap =
+          base.prefetch_window + (depth > 0 ? static_cast<int>(depth) : 16);
+      for (int k = 0; k < scan_cap && !ready.empty(); ++k) {
+        peek.push_back(ready.top());
+        ready.pop();
+      }
+      predicted.clear();
+      cands.assign(peek.begin(), peek.end());  // pop order == scan order
+      taken.assign(cands.size(), 0);
+      sim_dec.clear();
+      {
+        // The replay is self-extending: a predicted start's completion
+        // (round time + cost, both known) re-enters the event heap and can
+        // activate further parents, so the horizon is bounded by the
+        // window, not by the current running set.
+        auto run_copy = running;
+        Weight run_frames_pred = running_frames;
+        int idle_pred = idle;
+        while (!run_copy.empty() &&
+               static_cast<int>(predicted.size()) < base.prefetch_window) {
+          const auto [done_at, done] = run_copy.top();
+          run_copy.pop();
+          run_frames_pred -= work_frames[idx(done)];
+          ++idle_pred;
+          const NodeId par = tree.parent(done);
+          if (par != kNoNode) {
+            int seen = 1;
+            for (auto& [p, cnt] : sim_dec)
+              if (p == par) seen = ++cnt;
+            if (seen == 1) sim_dec.emplace_back(par, 1);
+            if (static_cast<std::size_t>(seen) == missing_children[idx(par)]) {
+              // The parent becomes ready at this completion: merge it into
+              // the candidate list at its scan position.
+              const Ready activated{priority_key[idx(par)], ref_pos[idx(par)], par};
+              std::size_t pos = 0;
+              while (pos < cands.size() && !(cands[pos] < activated)) ++pos;
+              cands.insert(cands.begin() + static_cast<std::ptrdiff_t>(pos), activated);
+              taken.insert(taken.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+            }
+          }
+          // One scheduling round after this completion: priority order,
+          // at most `depth` examined per start, started tasks leave the
+          // scan (deferred candidates return only between rounds).
+          std::int64_t examined = 0;
+          for (std::size_t k2 = 0; k2 < cands.size() && idle_pred > 0 &&
+                                   static_cast<int>(predicted.size()) < base.prefetch_window;
+               ++k2) {
+            if (taken[k2]) continue;
+            ++examined;
+            if (run_frames_pred + work_frames[idx(cands[k2].id)] <= frames) {
+              taken[k2] = 1;
+              predicted.push_back(cands[k2].id);
+              run_frames_pred += work_frames[idx(cands[k2].id)];
+              run_copy.emplace(done_at + task_cost(tree, cands[k2].id, base.cost), cands[k2].id);
+              --idle_pred;
+              examined = 0;
+            } else if (depth > 0 && examined >= depth) {
+              break;
+            }
+          }
+        }
+      }
+      pinned.clear();
+      for (const NodeId tgt : predicted)
+        for (const NodeId c : tree.children(tgt))
+          if (!prefetch_pinned[idx(c)]) {
+            prefetch_pinned[idx(c)] = 1;
+            pinned.push_back(c);
+          }
+      bool open = true;  // staging stops for the round at the first refusal
+      for (const NodeId tgt : predicted) {
+        if (!open) break;
+        for (const NodeId c : tree.children(tgt)) {
+          if (!open) break;
+          // A child that has not completed yet has no on-disk copy to
+          // read — its output materializes in memory at completion.
+          if (result.finish_time[idx(c)] < 0.0) continue;
+          Weight missing = total_pages[idx(c)] - resident[idx(c)];
+#if OOCTREE_AUDIT_ENABLED
+          // Test-only fault: size the read from the datum's full page
+          // count, re-fetching resident pages — the audit must convict
+          // before any state is touched.
+          if (core::fault::parallel_engine.load(std::memory_order_relaxed) & 8)
+            missing = total_pages[idx(c)];
+#endif
+          while (missing > 0) {
+            const Weight free_frames = frames - frames_used;
+            if (free_frames <= 0) {
+              // No head-room: stage the upcoming start's own eviction
+              // early, unless the victim is pinned or the queue is full.
+              if (index.empty()) {
+                open = false;
+                break;
+              }
+              const NodeId v = index.pick();
+              if (prefetch_pinned[idx(v)]) {
+                open = false;
+                break;
+              }
+              double at = now;
+              if (!spill(v, std::min(resident[idx(v)], missing), at,
+                         /*may_stall=*/false)) {
+                open = false;
+                break;
+              }
+              continue;  // frames freed: re-check the head-room
+            }
+            const Weight take = std::min(missing, free_frames);
+#if OOCTREE_AUDIT_ENABLED
+            core::audit_check(resident[idx(c)] + take <= total_pages[idx(c)],
+                              "simulate_parallel_paged: prefetch of already-resident pages");
+#endif
+            paged.disk_read_time += config.disk->transfer_time(take * page, 1);
+            prefetch_ready[idx(c)] =
+                std::max(prefetch_ready[idx(c)], issue_read(now, take));
+            resident[idx(c)] += take;
+            prefetched[idx(c)] += take;
+            frames_used += take;
+            paged.peak_frames_used = std::max<std::int64_t>(paged.peak_frames_used, frames_used);
+            result.peak_resident = std::max(result.peak_resident, frames_used * page);
+            paged.prefetch_issued += take;
+            paged.pages_read += take;
+            ++paged.read_transfers;
+            // A live output with resident pages is an EvictionIndex entry;
+            // insert() upserts, re-keying partially resident outputs (the
+            // prefetch counts as a touch under LRU/FIFO).
+            index.insert(c, policy_key(base.evict, tree, c, resident[idx(c)], clock, ref_pos));
+            missing -= take;
+          }
+        }
+      }
+      for (const NodeId c : pinned) prefetch_pinned[idx(c)] = 0;
+      for (const Ready& r : peek) ready.push(r);
+    }
+
     if (running.empty()) {
       // No task running and nothing startable: with all evictable pages
       // flushed the smallest work_frames must fit, so this means the frame
@@ -496,6 +811,10 @@ PagedParallelResult simulate_parallel_paged(const Tree& tree, const PagedParalle
   audit_state();
   core::audit_check(frames_used == 0 && running_frames == 0,
                     "simulate_parallel_paged: frames still allocated after the root completed");
+  // Every prefetched page ends consumed or evicted: the wasted/useful
+  // split conserves against the issue count once the root completed.
+  core::audit_check(paged.prefetch_issued == paged.prefetch_useful + paged.prefetch_wasted,
+                    "simulate_parallel_paged: prefetched pages neither consumed nor evicted");
 #endif
   result.makespan = now;
   result.feasible = true;

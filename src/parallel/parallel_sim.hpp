@@ -54,6 +54,23 @@
 // (the ROADMAP read-cost item). The default — no disk model — keeps reads
 // free and makes the paged engine reproduce simulate_parallel bit-for-bit
 // at page_size = 1.
+//
+// Disk pipeline. On top of the disk model the paged engine models an
+// asynchronous two-sided pipeline (the ROADMAP "Asynchronous disk
+// pipeline" item): ParallelConfig::write_queue_depth bounds a queue of
+// lazy eviction write-backs (a full queue backpressures the evicting
+// worker — write_stall), and ParallelConfig::prefetch_window issues
+// look-ahead reads for the evicted child pages of the tasks the scheduler
+// will start next. The prediction replays the engine's own start rule —
+// priority order, first-fit within the backfill window, parents activated
+// by in-flight completions — so prefetch targets what will actually run,
+// not the raw head of the ready heap. All transfers serialize through one
+// device timeline with demand and prefetch reads taking priority over the
+// unstarted write backlog (a started write is never preempted), so
+// overlap hides transfer time under compute but never exceeds DiskModel
+// capacity. Both knobs at 0 (the default) reproduce the synchronous
+// engine bit-for-bit; tests/test_disk_pipeline.cpp pins that baseline
+// plus the queue-depth, conservation and prefetch-accounting contracts.
 #pragma once
 
 #include <cstdint>
@@ -116,6 +133,25 @@ struct ParallelConfig {
   /// priority. Turns the read-stall charge into schedule input. Inert — the
   /// engines stay bit-identical with it on or off — when reads are free.
   bool residency_aware = false;
+  /// Disk-pipeline write side (paged engine with a DiskModel only).
+  /// 0 (the default) keeps the synchronous model — evictions write for
+  /// free, bit-identical to the pre-pipeline engine. > 0 bounds an
+  /// asynchronous write queue: every eviction that flushes dirty pages
+  /// enqueues one transfer on the shared disk timeline; when all slots
+  /// hold pending transfers the evicting worker stalls until the oldest
+  /// drains (accounted as write_stall, separate from read_stall). Inert
+  /// without a disk model.
+  int write_queue_depth = 0;
+  /// Disk-pipeline read side (paged engine with a DiskModel only). > 0
+  /// makes every scheduling round predict the next prefetch_window starts
+  /// (by replaying the start rule against the in-flight completions) and
+  /// issue asynchronous reads for their evicted child pages, overlapping
+  /// the transfer with compute: pages that arrive before the consuming
+  /// start are read-stall-free. Staging may evict — clean pages first,
+  /// never the children of predicted starts, and never past write-queue
+  /// backpressure. 0 disables look-ahead — every read-back is a demand
+  /// read at task start. Inert without a disk model.
+  int prefetch_window = 0;
   /// Which live output loses units when a start needs room. kBelady evicts
   /// the output whose parent runs furthest in the *reference* order — the
   /// rule the paper proves optimal for a fixed sequential schedule.
@@ -176,6 +212,21 @@ struct PagedParallelResult {
   std::int64_t peak_frames_used = 0;      ///< never exceeds frames when feasible
   std::int64_t read_transfers = 0;        ///< read-back operations (per child datum)
   double read_stall = 0.0;                ///< total worker time waiting on reads
+
+  // Disk pipeline (write_queue_depth / prefetch_window under a disk model;
+  // all zero on the synchronous path). The conservation contract pinned by
+  // tests/test_disk_pipeline.cpp: disk_read_time + disk_write_time is the
+  // pure device time of every transfer, read_stall + write_stall is the
+  // worker time the device actually cost, and the difference is the time
+  // the pipeline hid under compute (>= 0 with one worker; on the
+  // synchronous path read_stall == disk_read_time exactly).
+  double write_stall = 0.0;           ///< worker time stalled on a full write queue
+  std::int64_t write_queue_peak = 0;  ///< max pending write transfers after any enqueue
+  std::int64_t prefetch_issued = 0;   ///< pages fetched ahead of their consuming start
+  std::int64_t prefetch_useful = 0;   ///< prefetched pages still resident when consumed
+  std::int64_t prefetch_wasted = 0;   ///< prefetched pages evicted before use
+  double disk_read_time = 0.0;        ///< pure device time of all read transfers
+  double disk_write_time = 0.0;       ///< pure device time of all write transfers
 };
 
 /// Runs the simulation. `reference` supplies the order for
@@ -201,7 +252,10 @@ struct PagedParallelResult {
 
 /// The scan-based engine with identical semantics and results, retained as
 /// the differential-testing oracle and the bench_parallel_scaling baseline.
-/// O(n) per eviction round; use simulate_parallel everywhere else.
+/// O(n) per eviction round; use simulate_parallel everywhere else. The
+/// unit-granular API has no disk model, so the pipeline knobs
+/// (write_queue_depth, prefetch_window) are validated identically but
+/// inert in both engines — the differential contract covers every value.
 [[nodiscard]] ParallelResult simulate_parallel_reference(const core::Tree& tree,
                                                          const ParallelConfig& config,
                                                          const core::Schedule& reference = {});

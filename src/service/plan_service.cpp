@@ -152,6 +152,10 @@ void PlanService::serve_group(const std::vector<PlanRequest>& requests,
       fail("disk_latency requires disk_bandwidth > 0");
     } else if (request.disk_bandwidth > 0 && request.page_size == 0) {
       fail("a disk model requires a paged replay (page_size > 0)");
+    } else if (request.parallel.has_value() &&
+               (request.parallel->write_queue_depth > 0 || request.parallel->prefetch_window > 0) &&
+               request.disk_bandwidth == 0) {
+      fail("write_queue_depth / prefetch_window require a disk model (disk_bandwidth > 0)");
     } else {
       const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seeds[i]);
       std::shared_ptr<const PlanStats> hit;
@@ -248,6 +252,15 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
   if (request.disk_bandwidth > 0 && request.page_size == 0)
     return respond(error_stats("a disk model requires a paged replay (page_size > 0)"),
                    Served::kComputed);
+  // The disk-pipeline knobs model transfers against the DiskModel timeline;
+  // without one they would be silently inert — reject instead.
+  if (request.parallel.has_value() &&
+      (request.parallel->write_queue_depth > 0 || request.parallel->prefetch_window > 0) &&
+      request.disk_bandwidth == 0)
+    return respond(
+        error_stats("write_queue_depth / prefetch_window require a disk model (disk_bandwidth "
+                    "> 0)"),
+        Served::kComputed);
 
   // Layer 1: spec fingerprint — value-determined requests skip the tree.
   const std::optional<std::uint64_t> fingerprint = request_fingerprint(request, seed);
@@ -387,6 +400,10 @@ std::shared_ptr<const PlanStats> PlanService::finish_stats(const PlanRequest& re
         stats->pages_written = replay.pages_written;
         stats->pages_read = replay.pages_read;
         stats->read_stall = replay.read_stall;
+        stats->write_stall = replay.write_stall;
+        stats->prefetch_issued = replay.prefetch_issued;
+        stats->prefetch_useful = replay.prefetch_useful;
+        stats->prefetch_wasted = replay.prefetch_wasted;
       }
     }
     stats->ok = true;

@@ -50,6 +50,8 @@ std::uint64_t mix_replay(std::uint64_t h, const PlanRequest& request, std::uint6
   h = mix(h, pc.backfill ? 1ULL : 0ULL);
   h = mix_i64(h, pc.backfill_depth);
   h = mix(h, pc.residency_aware ? 1ULL : 0ULL);
+  h = mix_i64(h, pc.write_queue_depth);
+  h = mix_i64(h, pc.prefetch_window);
   // Like the replay seed below, reserve_penalty only enters the key when it
   // can influence the result: every other priority ignores it.
   if (pc.priority == parallel::Priority::kReservedCriticalPath)
@@ -144,7 +146,9 @@ bool identical(const PlanStats& a, const PlanStats& b) {
          a.makespan == b.makespan && a.parallel_io == b.parallel_io &&
          a.utilization == b.utilization && a.failed_starts == b.failed_starts &&
          a.page_size == b.page_size && a.pages_written == b.pages_written &&
-         a.pages_read == b.pages_read && a.read_stall == b.read_stall;
+         a.pages_read == b.pages_read && a.read_stall == b.read_stall &&
+         a.write_stall == b.write_stall && a.prefetch_issued == b.prefetch_issued &&
+         a.prefetch_useful == b.prefetch_useful && a.prefetch_wasted == b.prefetch_wasted;
 }
 
 std::uint64_t effective_seed(const PlanRequest& request, std::uint64_t service_seed) {

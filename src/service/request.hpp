@@ -136,6 +136,13 @@ struct PlanStats {
   std::int64_t pages_written = 0;
   std::int64_t pages_read = 0;
   double read_stall = 0.0;
+
+  // Disk pipeline (only when the replay set write_queue_depth or
+  // prefetch_window under a disk model; all zero on the synchronous path).
+  double write_stall = 0.0;          ///< worker time stalled on a full write queue
+  std::int64_t prefetch_issued = 0;  ///< pages fetched ahead of their start
+  std::int64_t prefetch_useful = 0;  ///< prefetched pages consumed by their start
+  std::int64_t prefetch_wasted = 0;  ///< prefetched pages evicted before use
 };
 
 /// Field-by-field equality of the deterministic payload — the differential

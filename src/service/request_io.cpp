@@ -179,7 +179,8 @@ class JsonScanner {
       "unknown request field '" + key +
       "' (id, tenant, source, nodes, w_lo, w_hi, seed, parent, weight, path, model, memory, "
       "memory_lb, strategy, workers, priority, evict, cost, backfill, backfill_depth, "
-      "reserve_penalty, residency, evict_seed, page_size, disk_latency, disk_bandwidth)");
+      "reserve_penalty, residency, evict_seed, page_size, disk_latency, disk_bandwidth, "
+      "write_queue_depth, prefetch_window)");
 }
 
 /// Tracks which fields were given so source inference and replay gating
@@ -197,6 +198,8 @@ struct DecodeState {
   int backfill_depth = 0;
   double reserve_penalty = 1.0;
   bool residency = false;
+  int write_queue_depth = 0;
+  int prefetch_window = 0;
   std::uint64_t evict_seed = 0;
 };
 
@@ -285,6 +288,16 @@ void assign_number(DecodeState& state, const std::string& key, std::int64_t inte
     if (number < 0) throw std::runtime_error("'disk_bandwidth' must be >= 0");
     state.request.disk_bandwidth = number;
     state.has_replay_field = true;
+  } else if (key == "write_queue_depth") {
+    const std::int64_t v = require_int();
+    if (v < 0) throw std::runtime_error("'write_queue_depth' must be >= 0");
+    state.write_queue_depth = static_cast<int>(v);
+    state.has_replay_field = true;
+  } else if (key == "prefetch_window") {
+    const std::int64_t v = require_int();
+    if (v < 0) throw std::runtime_error("'prefetch_window' must be >= 0");
+    state.prefetch_window = static_cast<int>(v);
+    state.has_replay_field = true;
   } else if (key == "evict_seed") {
     state.evict_seed = static_cast<std::uint64_t>(require_int());
     state.has_replay_field = true;
@@ -333,6 +346,8 @@ PlanRequest finish(DecodeState&& state, std::int64_t fallback_id) {
     pc.backfill_depth = state.backfill_depth;
     pc.reserve_penalty = state.reserve_penalty;
     pc.residency_aware = state.residency;
+    pc.write_queue_depth = state.write_queue_depth;
+    pc.prefetch_window = state.prefetch_window;
     pc.seed = state.evict_seed;  // 0 = derive from the request stream
     request.parallel = pc;
   } else if (state.has_replay_field) {
@@ -340,8 +355,8 @@ PlanRequest finish(DecodeState&& state, std::int64_t fallback_id) {
     // stats for a request that asked for a parallel evaluation.
     throw std::runtime_error(
         "replay fields (priority/evict/cost/backfill/backfill_depth/reserve_penalty/"
-        "residency/evict_seed/page_size/disk_latency/disk_bandwidth) require "
-        "'workers' > 0");
+        "residency/evict_seed/page_size/disk_latency/disk_bandwidth/write_queue_depth/"
+        "prefetch_window) require 'workers' > 0");
   }
   return std::move(request);
 }
@@ -381,7 +396,8 @@ bool csv_key_is_numeric(const std::string& key) {
   return key == "id" || key == "nodes" || key == "w_lo" || key == "w_hi" || key == "seed" ||
          key == "memory" || key == "memory_lb" || key == "workers" || key == "evict_seed" ||
          key == "page_size" || key == "backfill_depth" || key == "reserve_penalty" ||
-         key == "disk_latency" || key == "disk_bandwidth";
+         key == "disk_latency" || key == "disk_bandwidth" || key == "write_queue_depth" ||
+         key == "prefetch_window";
 }
 
 }  // namespace

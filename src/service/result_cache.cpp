@@ -25,7 +25,10 @@ std::size_t round_up_pow2(std::size_t v) {
 // the cache's own state. Unreadable or foreign files are treated as misses.
 
 constexpr char kPlanMagic[8] = {'O', 'O', 'C', 'P', 'L', 'A', 'N', '\0'};
-constexpr std::uint32_t kPlanVersion = 1;
+// Version 2: PlanStats grew the disk-pipeline block (write_stall +
+// prefetch counters). Bumping invalidates spilled v1 plans — they decode
+// as misses and are recomputed, never misread.
+constexpr std::uint32_t kPlanVersion = 2;
 
 void put_bytes(std::ostream& os, const void* p, std::size_t n) {
   os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -102,6 +105,10 @@ void write_plan_file(std::ostream& os, const CacheKey& key, const PlanStats& s) 
   put_pod(os, s.pages_written);
   put_pod(os, s.pages_read);
   put_pod(os, s.read_stall);
+  put_pod(os, s.write_stall);
+  put_pod(os, s.prefetch_issued);
+  put_pod(os, s.prefetch_useful);
+  put_pod(os, s.prefetch_wasted);
 }
 
 bool read_plan_file(std::istream& is, CacheKey& key, PlanStats& s) {
@@ -126,7 +133,9 @@ bool read_plan_file(std::istream& is, CacheKey& key, PlanStats& s) {
                     get_pod(is, s.makespan) && get_pod(is, s.parallel_io) &&
                     get_pod(is, s.utilization) && get_pod(is, s.failed_starts) &&
                     get_pod(is, s.page_size) && get_pod(is, s.pages_written) &&
-                    get_pod(is, s.pages_read) && get_pod(is, s.read_stall);
+                    get_pod(is, s.pages_read) && get_pod(is, s.read_stall) &&
+                    get_pod(is, s.write_stall) && get_pod(is, s.prefetch_issued) &&
+                    get_pod(is, s.prefetch_useful) && get_pod(is, s.prefetch_wasted);
   if (!good) return false;
   s.ok = ok != 0;
   s.nodes = static_cast<std::size_t>(nodes);

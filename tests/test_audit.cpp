@@ -202,6 +202,63 @@ TEST(Audit, ConvictsReintroducedUnreservedTransient) {
 #endif
 }
 
+// The PR 10 disk-pipeline bug classes. Each fixture runs the pipelined
+// paged engine on a stall-heavy configuration the healthy engine passes
+// clean (pinned by tests/test_disk_pipeline.cpp under the dev preset).
+
+// A pipelined configuration under memory pressure: tight frames force
+// evictions (write traffic), the window forces prefetch reads.
+parallel::PagedParallelConfig pipelined_pressure_config(const Tree& t, int depth, int window) {
+  parallel::PagedParallelConfig c;
+  c.base.workers = 4;
+  c.base.memory = iosim::min_feasible_frames(t, 2) * 2;
+  c.base.seed = 3;
+  c.base.write_queue_depth = depth;
+  c.base.prefetch_window = window;
+  c.page_size = 2;
+  c.disk = iosim::DiskModel{0.5, 2.0};
+  return c;
+}
+
+TEST(Audit, ConvictsEvictionIgnoringWriteBackpressure) {
+#if OOCTREE_AUDIT_ENABLED
+  const core::FaultGuard guard;
+  core::fault::parallel_engine.store(4);  // evictions enqueue past the depth bound again
+  util::Rng rng(41);
+  const Tree t = test::small_random_tree(48, 14, rng);
+  EXPECT_THROW((void)parallel::simulate_parallel_paged(t, pipelined_pressure_config(t, 1, 0)),
+               core::AuditError);
+#else
+  GTEST_SKIP() << "fault hooks compile away without OOCTREE_AUDIT (dev preset)";
+#endif
+}
+
+TEST(Audit, ConvictsPrefetchOfResidentPages) {
+#if OOCTREE_AUDIT_ENABLED
+  const core::FaultGuard guard;
+  core::fault::parallel_engine.store(8);  // prefetch re-reads resident pages again
+  util::Rng rng(41);
+  const Tree t = test::small_random_tree(48, 14, rng);
+  EXPECT_THROW((void)parallel::simulate_parallel_paged(t, pipelined_pressure_config(t, 4, 8)),
+               core::AuditError);
+#else
+  GTEST_SKIP() << "fault hooks compile away without OOCTREE_AUDIT (dev preset)";
+#endif
+}
+
+TEST(Audit, ConvictsDiskTransferDoubleBooking) {
+#if OOCTREE_AUDIT_ENABLED
+  const core::FaultGuard guard;
+  core::fault::parallel_engine.store(16);  // transfers beat the serial device timeline again
+  util::Rng rng(41);
+  const Tree t = test::small_random_tree(48, 14, rng);
+  EXPECT_THROW((void)parallel::simulate_parallel_paged(t, pipelined_pressure_config(t, 4, 4)),
+               core::AuditError);
+#else
+  GTEST_SKIP() << "fault hooks compile away without OOCTREE_AUDIT (dev preset)";
+#endif
+}
+
 TEST(Audit, ConvictsEvictionIndexLiveCountCorruption) {
 #if OOCTREE_AUDIT_ENABLED
   const core::FaultGuard guard;

@@ -268,6 +268,87 @@ TEST(PlanService, PagedReplayMatchesDirectPagedSimulation) {
   EXPECT_EQ(response.stats->parallel_io, direct.pages_written * 4);
 }
 
+// Disk-pipeline round trip: a pipelined request replays through the
+// service bit-identically to the direct paged simulation, pipeline
+// ledgers included.
+TEST(PlanService, PipelinedReplayMatchesDirectPagedSimulation) {
+  const core::Tree tree = test_tree(9, 80);
+  PlanRequest request = parents_request(tree, 1, 1.1);
+  parallel::ParallelConfig pc;
+  pc.workers = 2;
+  pc.priority = parallel::Priority::kSequentialOrder;
+  pc.write_queue_depth = 4;
+  pc.prefetch_window = 4;
+  request.parallel = pc;
+  request.page_size = 4;
+  request.disk_latency = 0.5;
+  request.disk_bandwidth = 8.0;
+
+  PlanService planner(ServiceConfig{.threads = 1});
+  const PlanResponse response = planner.plan(request);
+  ASSERT_TRUE(response.stats->ok) << response.stats->error;
+  ASSERT_TRUE(response.stats->replayed);
+
+  const core::Weight memory = response.stats->memory;
+  const auto direct_plan = core::run_strategy(core::Strategy::kRecExpand, tree, memory);
+  parallel::PagedParallelConfig paged;
+  paged.base = pc;
+  paged.base.memory = memory;
+  paged.page_size = 4;
+  paged.disk = iosim::DiskModel{0.5, 8.0};
+  const auto direct = parallel::simulate_parallel_paged(tree, paged, direct_plan.schedule);
+  EXPECT_EQ(response.stats->makespan, direct.base.makespan);
+  EXPECT_EQ(response.stats->read_stall, direct.read_stall);
+  EXPECT_EQ(response.stats->write_stall, direct.write_stall);
+  EXPECT_EQ(response.stats->prefetch_issued, direct.prefetch_issued);
+  EXPECT_EQ(response.stats->prefetch_useful, direct.prefetch_useful);
+  EXPECT_EQ(response.stats->prefetch_wasted, direct.prefetch_wasted);
+  EXPECT_EQ(response.stats->prefetch_issued,
+            response.stats->prefetch_useful + response.stats->prefetch_wasted);
+}
+
+// The pipeline knobs shape the answer, so they must separate cache
+// entries: the same instance with and without the pipeline may not
+// collide.
+TEST(PlanService, PipelineKnobsSeparateCacheEntries) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request = parents_request(test_tree(10, 70), 1, 1.1);
+  parallel::ParallelConfig pc;
+  pc.workers = 2;
+  request.parallel = pc;
+  request.page_size = 4;
+  request.disk_latency = 0.5;
+  request.disk_bandwidth = 4.0;
+  const PlanResponse sync = planner.plan(request);
+  request.parallel->write_queue_depth = 4;
+  request.parallel->prefetch_window = 4;
+  const PlanResponse piped = planner.plan(request);
+  ASSERT_TRUE(sync.stats->ok) << sync.stats->error;
+  ASSERT_TRUE(piped.stats->ok) << piped.stats->error;
+  EXPECT_EQ(piped.served, Served::kComputed) << "pipeline knobs must not collide in the cache";
+  EXPECT_FALSE(service::identical(*sync.stats, *piped.stats));
+  EXPECT_EQ(planner.plan(request).served, Served::kCached);
+}
+
+// Pipeline knobs without a disk model would silently be inert — the
+// service rejects the request instead of caching a misleading answer.
+TEST(PlanService, PipelineKnobsWithoutDiskFail) {
+  PlanService planner(ServiceConfig{.threads = 1});
+  PlanRequest request = parents_request(test_tree(11), 1);
+  parallel::ParallelConfig pc;
+  pc.workers = 2;
+  pc.write_queue_depth = 2;
+  request.parallel = pc;
+  request.page_size = 4;  // no disk_bandwidth
+  const PlanResponse response = planner.plan(request);
+  ASSERT_FALSE(response.stats->ok);
+  EXPECT_NE(response.stats->error.find("require a disk model"), std::string::npos);
+  EXPECT_EQ(planner.stats().cached, 0u);
+  request.parallel->write_queue_depth = 0;
+  request.parallel->prefetch_window = 3;
+  EXPECT_FALSE(planner.plan(request).stats->ok);
+}
+
 TEST(PlanService, PageSizeSeparatesCacheEntries) {
   // Identical instance and replay config, different page geometry: the
   // answers differ, so the fingerprints must too.
@@ -393,6 +474,45 @@ TEST(RequestIo, RejectsMalformedInput) {
   // CSV booleans must be 1/0/true/false, not a silent false.
   std::istringstream bad_bool("nodes,workers,backfill\n8,2,ture\n");
   EXPECT_THROW((void)service::read_requests_csv(bad_bool), std::runtime_error);
+}
+
+TEST(RequestIo, ParsesDiskPipelineKnobs) {
+  const auto request = service::request_from_json(
+      R"({"nodes": 64, "workers": 2, "page_size": 4, "disk_latency": 0.5, )"
+      R"("disk_bandwidth": 8, "write_queue_depth": 3, "prefetch_window": 5})");
+  ASSERT_TRUE(request.parallel.has_value());
+  EXPECT_EQ(request.parallel->write_queue_depth, 3);
+  EXPECT_EQ(request.parallel->prefetch_window, 5);
+  EXPECT_DOUBLE_EQ(request.disk_latency, 0.5);
+  EXPECT_DOUBLE_EQ(request.disk_bandwidth, 8.0);
+}
+
+TEST(RequestIo, RejectsBadDiskPipelineKnobs) {
+  // Negative knobs are decode errors, not clamped values.
+  EXPECT_THROW((void)service::request_from_json(
+                   R"({"nodes": 8, "workers": 2, "write_queue_depth": -1})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)service::request_from_json(R"({"nodes": 8, "workers": 2, "prefetch_window": -2})"),
+      std::runtime_error);
+  // Knobs are replay fields: without workers the replay block would be
+  // silently dropped, so the decoder refuses.
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": 8, "write_queue_depth": 2})"),
+               std::runtime_error);
+  EXPECT_THROW((void)service::request_from_json(R"({"nodes": 8, "prefetch_window": 2})"),
+               std::runtime_error);
+}
+
+TEST(RequestIo, ReadsDiskPipelineKnobsFromCsv) {
+  std::istringstream in(
+      "nodes,workers,page_size,disk_bandwidth,write_queue_depth,prefetch_window\n"
+      "64,2,4,8,3,5\n");
+  const auto requests = service::read_requests_csv(in);
+  ASSERT_EQ(requests.size(), 1u);
+  ASSERT_TRUE(requests[0].parallel.has_value());
+  EXPECT_EQ(requests[0].parallel->write_queue_depth, 3);
+  EXPECT_EQ(requests[0].parallel->prefetch_window, 5);
+  EXPECT_DOUBLE_EQ(requests[0].disk_bandwidth, 8.0);
 }
 
 TEST(RequestIo, NameParsingIsCaseInsensitive) {
